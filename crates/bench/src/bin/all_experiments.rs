@@ -1,0 +1,25 @@
+//! Regenerates the full evaluation: every table and figure in sequence.
+fn main() {
+    let cfg = millipede_bench::config_from_args();
+    println!("Millipede reproduction — full evaluation ({} chunks, seed {})\n", cfg.num_chunks, cfg.seed);
+    println!("Table II — Summary of application behavior\n");
+    println!("{}", millipede_sim::experiments::table2::render());
+    println!("Table III — Hardware parameters\n");
+    println!("{}", millipede_sim::experiments::table3::render(&cfg));
+    println!("Table IV — Benchmark parameters and characteristics\n");
+    println!("{}", millipede_sim::experiments::table4::run(&cfg).render());
+    println!("Fig. 3 — Performance (speedup over GPGPU)\n");
+    println!("{}", millipede_sim::experiments::fig3::run(&cfg).render());
+    println!("Fig. 4 — Energy (relative to GPGPU)\n");
+    println!("{}", millipede_sim::experiments::fig4::run(&cfg).render());
+    println!("Fig. 5 — Millipede vs conventional multicore\n");
+    println!("{}", millipede_sim::experiments::fig5::run(&cfg).render());
+    println!("Fig. 6 — Speedup vs system size\n");
+    println!("{}", millipede_sim::experiments::fig6::run(&cfg).render());
+    println!("Fig. 7 — Speedup vs prefetch-buffer count\n");
+    println!("{}", millipede_sim::experiments::fig7::run(&cfg).render());
+    println!("Rate-matching convergence (§IV-F)\n");
+    println!("{}", millipede_sim::experiments::convergence::run(&cfg).render());
+    println!("Ablations (beyond the paper's figures)\n");
+    println!("{}", millipede_sim::experiments::ablations::render_all(&cfg));
+}

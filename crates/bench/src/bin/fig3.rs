@@ -1,0 +1,11 @@
+//! Regenerates Fig. 3 — performance normalized to GPGPU.
+fn main() {
+    let (cfg, csv) = millipede_bench::config_and_format_from_args();
+    let fig = millipede_sim::experiments::fig3::run(&cfg);
+    if csv {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("Fig. 3 — Performance (speedup over GPGPU, {} chunks)\n", cfg.num_chunks);
+        println!("{}", fig.render());
+    }
+}

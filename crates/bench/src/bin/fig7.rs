@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7 — speedup versus prefetch-buffer count.
+fn main() {
+    let (cfg, csv) = millipede_bench::config_and_format_from_args();
+    let fig = millipede_sim::experiments::fig7::run(&cfg);
+    if csv {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("Fig. 7 — Millipede speedup vs prefetch-buffer count (normalized to 2 entries, {} chunks)\n", cfg.num_chunks);
+        println!("{}", fig.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III — hardware parameters.
+fn main() {
+    let cfg = millipede_bench::config_from_args();
+    println!("Table III — Hardware parameters\n");
+    println!("{}", millipede_sim::experiments::table3::render(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table IV — benchmark parameters and characteristics.
+fn main() {
+    let (cfg, csv) = millipede_bench::config_and_format_from_args();
+    let t = millipede_sim::experiments::table4::run(&cfg);
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("Table IV — Benchmark parameters and characteristics ({} chunks)\n", cfg.num_chunks);
+        println!("{}", t.render());
+    }
+}

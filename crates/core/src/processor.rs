@@ -1,0 +1,514 @@
+//! The Millipede processor timing model.
+//!
+//! Two clock domains drive the simulation: on each compute edge every
+//! corelet tries to issue one instruction from one of its 4 hardware
+//! contexts (round-robin, skipping contexts whose next input load cannot be
+//! served); on each channel edge the FR-FCFS controller advances and
+//! completed fills are applied.
+//!
+//! Input loads go through the row prefetch buffer:
+//!
+//! * **hit** — consume a word of the corelet's slab (driving the DF
+//!   counters, PFT triggers, and flow control);
+//! * **filling / future** — the context stalls (and signals the rate
+//!   matcher that the buffers ran empty);
+//! * **evicted** (no-flow-control only) — the corelet re-fetches its 64 B
+//!   slab directly from DRAM into a small per-corelet bypass store,
+//!   exposing full memory latency and re-activating old rows — the cost
+//!   Fig. 3's `Millipede-no-flow-control` bars show.
+
+use crate::config::MillipedeConfig;
+use crate::pbuf::{Lookup, RowPrefetchBuffer};
+use crate::rate::{OccupancySignal, RateMatcher};
+use crate::result::NodeResult;
+use millipede_dram::{MemoryController, Request, TimePs};
+
+pub use run_impl::run;
+
+mod run_impl {
+    use super::*;
+    use millipede_engine::step::effective_access;
+    use millipede_engine::{
+        period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
+    };
+    use millipede_isa::AddrSpace;
+    use millipede_mapreduce::ThreadGrid;
+    use millipede_workloads::Workload;
+    use std::collections::HashMap;
+
+    const TAG_PREFETCH_BASE: u64 = 1 << 32;
+    const TAG_BYPASS: u64 = 1 << 33;
+
+    struct Ctx {
+        t: ThreadCtx,
+        done: bool,
+        /// Set while the context is blocked on memory (dedups rate-matcher
+        /// Empty signals and demand-stall counting).
+        stalled: bool,
+        /// Set while the context waits at a processor-wide software barrier
+        /// (§IV-C's alternative to hardware flow control).
+        at_barrier: bool,
+    }
+
+    /// Runs `workload` to completion on one Millipede processor.
+    ///
+    /// ```
+    /// use millipede_core::{run, MillipedeConfig};
+    /// use millipede_workloads::{Benchmark, Workload};
+    ///
+    /// let workload = Workload::build(Benchmark::Count, 2, 2048, 7);
+    /// let result = run(&workload, &MillipedeConfig::default());
+    /// assert!(result.output_ok); // validated against the golden reference
+    /// assert!(result.stats.rate_match_final_mhz <= 700.0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's live state does not fit the corelet local
+    /// memory, if a kernel traps, or if the processor deadlocks (no issue
+    /// for `max_idle_cycles`).
+    pub fn run(workload: &Workload, cfg: &MillipedeConfig) -> NodeResult {
+        let layout = workload.dataset.layout;
+        let grid = if cfg.wide_columns {
+            ThreadGrid::block_columns(cfg.corelets, cfg.contexts)
+        } else {
+            ThreadGrid::slab(cfg.corelets, cfg.contexts)
+        };
+        assert!(
+            workload.live_bytes * cfg.contexts <= cfg.local_bytes_per_corelet,
+            "live state {}×{} exceeds {} B local memory",
+            workload.live_bytes,
+            cfg.contexts,
+            cfg.local_bytes_per_corelet
+        );
+        let row_bytes = layout.row_bytes;
+        let slab_bytes = grid.slab_bytes(&layout);
+        let slab_words = (slab_bytes / 4) as u32;
+        let total_rows = layout.total_rows();
+        let program = workload.program.clone();
+        let image = workload.dataset.image.clone();
+
+        let mut pbuf = RowPrefetchBuffer::new(
+            cfg.pbuf_entries,
+            cfg.corelets,
+            slab_words,
+            total_rows,
+            cfg.flow_control,
+        );
+        let mut mc =
+            MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
+        let nominal = period_ps_for_mhz(cfg.compute_mhz);
+        let mut clock = DualClock::new(nominal, cfg.timing.channel_period_ps);
+        let mut rate = RateMatcher::new(cfg.rate_match, nominal, cfg.rate_cooldown);
+
+        let mut ctxs: Vec<Vec<Ctx>> = (0..cfg.corelets)
+            .map(|c| {
+                (0..cfg.contexts)
+                    .map(|x| Ctx {
+                        t: workload.make_ctx(&grid, c, x),
+                        done: false,
+                        stalled: false,
+                        at_barrier: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut rr = vec![0usize; cfg.corelets];
+        // Per-corelet bypass store: row → slab-fill-arrived (no-flow-control
+        // premature-eviction recovery path).
+        let mut bypass: Vec<HashMap<u64, bool>> = vec![HashMap::new(); cfg.corelets];
+
+        let mut stats = CoreStats::default();
+        let total_threads = cfg.corelets * cfg.contexts;
+        let mut halted = 0usize;
+        let mut cycle: u64 = 0;
+        let mut idle_streak: u64 = 0;
+        let mut last_time: TimePs = 0;
+
+        while halted < total_threads {
+            match clock.pop() {
+                Edge::Compute(now) => {
+                    last_time = now;
+                    cycle += 1;
+                    // Hand pending row prefetches to the controller.
+                    while mc.free_slots() > 0 {
+                        let fetches = pbuf.take_fetches(1);
+                        let Some(&(slot, row)) = fetches.first() else {
+                            break;
+                        };
+                        let req = Request {
+                            addr: row * row_bytes,
+                            bytes: row_bytes,
+                            tag: TAG_PREFETCH_BASE + slot as u64,
+                        };
+                        if mc.try_push(req, now).is_err() {
+                            pbuf.untake_fetch(slot);
+                            break;
+                        }
+                        stats.prefetches += 1;
+                    }
+
+                    let mut any_issued = false;
+                    for c in 0..cfg.corelets {
+                        stats.issue_slots += 1;
+                        if corelet_tick(
+                            c,
+                            now,
+                            cycle,
+                            cfg,
+                            &program,
+                            &image,
+                            row_bytes,
+                            slab_bytes,
+                            &mut ctxs,
+                            &mut rr,
+                            &mut bypass,
+                            &mut pbuf,
+                            &mut mc,
+                            &mut clock,
+                            &mut rate,
+                            &mut stats,
+                            &mut halted,
+                        ) {
+                            any_issued = true;
+                        } else {
+                            stats.stall_slots += 1;
+                        }
+                    }
+                    idle_streak = if any_issued { 0 } else { idle_streak + 1 };
+                    assert!(
+                        idle_streak <= cfg.max_idle_cycles,
+                        "Millipede deadlock: no issue for {} cycles (pbuf {:?})",
+                        idle_streak,
+                        pbuf.stats()
+                    );
+                }
+                Edge::Channel(now) => {
+                    last_time = now;
+                    mc.tick(now);
+                    for comp in mc.pop_completed(now) {
+                        if comp.tag >= TAG_BYPASS {
+                            let corelet =
+                                ((comp.addr % row_bytes) / slab_bytes) as usize;
+                            let row = comp.addr / row_bytes;
+                            bypass[corelet].insert(row, true);
+                        } else {
+                            let slot = (comp.tag - TAG_PREFETCH_BASE) as usize;
+                            pbuf.fill_complete(slot);
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.compute_cycles = cycle;
+        stats.flow_blocks = pbuf.stats().flow_blocks;
+        stats.premature_evictions = pbuf.stats().premature_evictions;
+        stats.rate_match_final_mhz = if cfg.rate_match {
+            RateMatcher::final_mhz(&clock)
+        } else {
+            0.0
+        };
+        stats.rate_trace = rate.trace().to_vec();
+
+        let states: Vec<&[u32]> = ctxs
+            .iter()
+            .flat_map(|corelet| corelet.iter().map(|c| c.t.local.words()))
+            .collect();
+        let output = workload.reduce(&states);
+        let output_ok = output == workload.reference(&grid);
+        NodeResult {
+            stats,
+            dram: mc.stats().clone(),
+            elapsed_ps: last_time,
+            output,
+            output_ok,
+        }
+    }
+
+    /// One compute-cycle issue attempt for corelet `c`. Returns whether an
+    /// instruction issued.
+    #[allow(clippy::too_many_arguments)]
+    fn corelet_tick(
+        c: usize,
+        now: TimePs,
+        cycle: u64,
+        cfg: &MillipedeConfig,
+        program: &millipede_isa::Program,
+        image: &millipede_mem::InputImage,
+        row_bytes: u64,
+        slab_bytes: u64,
+        ctxs: &mut [Vec<Ctx>],
+        rr: &mut [usize],
+        bypass: &mut [HashMap<u64, bool>],
+        pbuf: &mut RowPrefetchBuffer,
+        mc: &mut MemoryController,
+        clock: &mut DualClock,
+        rate: &mut RateMatcher,
+        stats: &mut CoreStats,
+        halted: &mut usize,
+    ) -> bool {
+        for k in 0..cfg.contexts {
+            let x = (rr[c] + k) % cfg.contexts;
+            if ctxs[c][x].done || ctxs[c][x].at_barrier {
+                continue;
+            }
+            let is_input_load = matches!(
+                effective_access(&ctxs[c][x].t, program),
+                Some(ea) if ea.space == AddrSpace::Input
+            );
+            if is_input_load {
+                let ea = effective_access(&ctxs[c][x].t, program).unwrap();
+                let row = ea.addr / row_bytes;
+                match pbuf.lookup(row) {
+                    Lookup::Ready { slot } => {
+                        commit(c, x, ctxs, program, image, stats, halted);
+                        stats.pbuf_hits += 1;
+                        let out = pbuf.consume(slot, c);
+                        if out.trigger_blocked {
+                            rate.on_signal(OccupancySignal::Full, cycle, clock);
+                        }
+                        rr[c] = (x + 1) % cfg.contexts;
+                        return true;
+                    }
+                    Lookup::Future => {
+                        // The accessor is ahead of the prefetch stream. With
+                        // flow control it stalls; without, its demand wraps
+                        // the buffer, prematurely evicting unconsumed heads.
+                        if !cfg.flow_control {
+                            pbuf.force_allocate_for_demand(row);
+                        }
+                        if !ctxs[c][x].stalled {
+                            ctxs[c][x].stalled = true;
+                            stats.demand_stalls += 1;
+                            rate.on_signal(OccupancySignal::Empty, cycle, clock);
+                        }
+                        continue;
+                    }
+                    Lookup::Filling => {
+                        if !ctxs[c][x].stalled {
+                            ctxs[c][x].stalled = true;
+                            stats.demand_stalls += 1;
+                            rate.on_signal(OccupancySignal::Empty, cycle, clock);
+                        }
+                        continue;
+                    }
+                    Lookup::Evicted => {
+                        debug_assert!(
+                            !cfg.flow_control,
+                            "eviction under flow control is impossible"
+                        );
+                        match bypass[c].get(&row) {
+                            Some(true) => {
+                                commit(c, x, ctxs, program, image, stats, halted);
+                                rr[c] = (x + 1) % cfg.contexts;
+                                return true;
+                            }
+                            Some(false) => {
+                                // Fill in flight.
+                                continue;
+                            }
+                            None => {
+                                let addr = row * row_bytes + c as u64 * slab_bytes;
+                                let req = Request {
+                                    addr,
+                                    bytes: slab_bytes,
+                                    tag: TAG_BYPASS,
+                                };
+                                if mc.try_push(req, now).is_ok() {
+                                    if bypass[c].len() >= 32 {
+                                        // Bound the store: oldest rows are
+                                        // never needed again.
+                                        let oldest =
+                                            *bypass[c].keys().min().unwrap();
+                                        bypass[c].remove(&oldest);
+                                    }
+                                    bypass[c].insert(row, false);
+                                    stats.demand_fetches += 1;
+                                }
+                                if !ctxs[c][x].stalled {
+                                    ctxs[c][x].stalled = true;
+                                    stats.demand_stalls += 1;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+            } else {
+                commit(c, x, ctxs, program, image, stats, halted);
+                rr[c] = (x + 1) % cfg.contexts;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Functionally executes the context's next instruction and updates
+    /// statistics.
+    fn commit(
+        c: usize,
+        x: usize,
+        ctxs: &mut [Vec<Ctx>],
+        program: &millipede_isa::Program,
+        image: &millipede_mem::InputImage,
+        stats: &mut CoreStats,
+        halted: &mut usize,
+    ) {
+        let ctx = &mut ctxs[c][x];
+        ctx.stalled = false;
+        let effect = step(&mut ctx.t, program, image)
+            .unwrap_or_else(|trap| panic!("kernel trap on corelet {c} ctx {x}: {trap}"));
+        stats.instructions += 1;
+        stats.issues += 1;
+        let mut sync_check = false;
+        match effect {
+            StepEffect::Branch { .. } => stats.branches += 1,
+            StepEffect::InputLoad { .. } => stats.input_loads += 1,
+            StepEffect::LocalLoad { .. } => stats.local_loads += 1,
+            StepEffect::LocalStore { .. } => stats.local_stores += 1,
+            StepEffect::Barrier => {
+                sync_check = true;
+            }
+            StepEffect::Halt => {
+                ctx.done = true;
+                *halted += 1;
+                // A halting thread stops participating in barriers; waiters
+                // may now be releasable.
+                sync_check = true;
+            }
+            _ => {}
+        }
+        if sync_check {
+            if matches!(effect, StepEffect::Barrier) {
+                ctxs[c][x].at_barrier = true;
+            }
+            release_barrier_if_ready(ctxs);
+        }
+    }
+
+    /// Releases every waiting context once all live contexts on the
+    /// processor have reached the barrier.
+    fn release_barrier_if_ready(ctxs: &mut [Vec<Ctx>]) {
+        let all_waiting = ctxs
+            .iter()
+            .flatten()
+            .all(|ctx| ctx.done || ctx.at_barrier);
+        if all_waiting {
+            for ctx in ctxs.iter_mut().flatten() {
+                ctx.at_barrier = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millipede_workloads::{Benchmark, Workload};
+
+    fn small(bench: Benchmark) -> Workload {
+        Workload::build(bench, 2, 2048, 7)
+    }
+
+    fn cfg() -> MillipedeConfig {
+        MillipedeConfig::default()
+    }
+
+    #[test]
+    fn count_runs_and_validates() {
+        let w = small(Benchmark::Count);
+        let r = run(&w, &cfg());
+        assert!(r.output_ok, "timing run must reproduce the golden output");
+        assert!(r.elapsed_ps > 0);
+        assert!(r.stats.instructions > 0);
+        assert_eq!(r.stats.premature_evictions, 0);
+        // Every input word flows through the prefetch buffer.
+        assert_eq!(r.stats.pbuf_hits, r.stats.input_loads);
+    }
+
+    #[test]
+    fn nbayes_runs_and_validates() {
+        let w = small(Benchmark::NBayes);
+        let r = run(&w, &cfg());
+        assert!(r.output_ok);
+        // Row-orientedness: each input row is fetched exactly once.
+        let rows = w.dataset.layout.total_rows();
+        assert_eq!(r.dram.activations, rows, "one activation per row");
+        assert_eq!(r.dram.bytes_transferred, rows * 2048);
+        assert!(r.dram.row_miss_rate() > 0.99, "every row request opens its row once");
+    }
+
+    #[test]
+    fn flow_control_prevents_premature_eviction() {
+        let w = small(Benchmark::Count);
+        let r = run(&w, &cfg());
+        assert_eq!(r.stats.premature_evictions, 0);
+    }
+
+    #[test]
+    fn no_flow_control_still_produces_correct_output() {
+        let w = small(Benchmark::Variance);
+        let mut c = MillipedeConfig::no_flow_control();
+        // A tiny buffer makes premature evictions likely.
+        c.pbuf_entries = 2;
+        let r = run(&w, &c);
+        assert!(r.output_ok, "bypass path must preserve functional results");
+    }
+
+    #[test]
+    fn tiny_buffer_with_flow_control_does_not_deadlock() {
+        let w = small(Benchmark::Count);
+        let mut c = cfg();
+        c.pbuf_entries = 2;
+        c.rate_match = false;
+        let r = run(&w, &c);
+        assert!(r.output_ok);
+        assert_eq!(r.stats.premature_evictions, 0);
+    }
+
+    #[test]
+    fn rate_matching_reports_converged_clock() {
+        let w = small(Benchmark::Count);
+        let r = run(&w, &cfg());
+        assert!(r.stats.rate_match_final_mhz > 100.0);
+        assert!(r.stats.rate_match_final_mhz <= 701.0);
+        let r2 = run(&w, &MillipedeConfig::no_rate_match());
+        assert_eq!(r2.stats.rate_match_final_mhz, 0.0);
+    }
+
+    #[test]
+    fn wide_columns_leave_millipede_unaffected() {
+        // §IV-C: the corelet owns the same 64 B slab under either
+        // interleaving, so row-oriented prefetch performance is unchanged.
+        let w = small(Benchmark::Count);
+        let narrow = run(&w, &MillipedeConfig::no_rate_match());
+        let mut cfg = MillipedeConfig::no_rate_match();
+        cfg.wide_columns = true;
+        let wide = run(&w, &cfg);
+        assert!(wide.output_ok);
+        let ratio = wide.elapsed_ps as f64 / narrow.elapsed_ps as f64;
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "wide/narrow runtime ratio {ratio}"
+        );
+        assert_eq!(wide.dram.bytes_transferred, narrow.dram.bytes_transferred);
+    }
+
+    #[test]
+    fn more_buffers_never_hurt() {
+        let w = small(Benchmark::NBayes);
+        let mut c2 = MillipedeConfig::no_rate_match();
+        c2.pbuf_entries = 2;
+        let mut c16 = MillipedeConfig::no_rate_match();
+        c16.pbuf_entries = 16;
+        let r2 = run(&w, &c2);
+        let r16 = run(&w, &c16);
+        assert!(
+            r16.elapsed_ps <= r2.elapsed_ps,
+            "16 entries {} vs 2 entries {}",
+            r16.elapsed_ps,
+            r2.elapsed_ps
+        );
+    }
+}

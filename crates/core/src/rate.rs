@@ -1,0 +1,221 @@
+//! Coarse-grain compute–memory rate-matching (§IV-F).
+//!
+//! A one-dimensional hill-climbing controller over the processor clock:
+//! when a corelet finds the prefetch buffers **empty** (a demand access
+//! stalls on a still-filling row — memory-bandwidth-bound), the clock steps
+//! down 5%; when the flow control finds them **full** (a trigger is blocked
+//! — compute-bound), the clock steps up 5%, capped at the nominal
+//! frequency. The paper runs this at the coarsest granularity — the whole
+//! processor, for the whole application — so a simple cooldown between
+//! steps suffices for convergence; "any oscillations after convergence
+//! would be within a band of the size of the small step".
+//!
+//! Pure DFS (no voltage scaling, as the paper conservatively assumes):
+//! energy savings come from eliminating idle cycles, not from lower
+//! switching energy per operation.
+
+use millipede_engine::{mhz_for_period_ps, DualClock, TimePs};
+
+/// Occupancy events sampled by the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancySignal {
+    /// A demand access found its row not yet filled (memory-bound).
+    Empty,
+    /// Flow control blocked a prefetch trigger (compute-bound).
+    Full,
+}
+
+/// The hill-climbing DFS controller.
+#[derive(Debug, Clone)]
+pub struct RateMatcher {
+    enabled: bool,
+    nominal_period: TimePs,
+    max_period: TimePs,
+    cooldown: u64,
+    last_slowdown_cycle: u64,
+    last_speedup_cycle: u64,
+    adjustments: u64,
+    /// Applied adjustments as `(compute cycle, resulting MHz)` — the
+    /// convergence trace the paper reasons about in §IV-F.
+    trace: Vec<(u64, f64)>,
+}
+
+impl RateMatcher {
+    /// Relative step per adjustment (paper: 5%).
+    pub const STEP: f64 = 0.05;
+    /// Maximum slowdown from nominal (paper's example: a 4× required
+    /// change).
+    pub const MAX_SLOWDOWN: f64 = 4.0;
+
+    /// Creates a controller. When `enabled` is false, signals are ignored
+    /// (the `Millipede-no-rate-match` configuration of Fig. 4).
+    ///
+    /// The controller slows down cautiously and speeds back up eagerly:
+    /// Empty signals honour the full `cooldown` while Full signals use an
+    /// 8× shorter one. Stall transitions (Empty) vastly outnumber
+    /// flow-control blocks (Full) near the balance point, so a symmetric
+    /// controller would bias the clock below it; the asymmetry keeps the
+    /// equilibrium within one step of the true rate match (the paper's
+    /// "acceptable inefficiency" band, §IV-F).
+    pub fn new(enabled: bool, nominal_period: TimePs, cooldown: u64) -> RateMatcher {
+        RateMatcher {
+            enabled,
+            nominal_period,
+            max_period: (nominal_period as f64 * Self::MAX_SLOWDOWN) as TimePs,
+            cooldown,
+            last_slowdown_cycle: 0,
+            last_speedup_cycle: 0,
+            adjustments: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Feeds one occupancy signal observed at compute cycle `cycle`,
+    /// possibly rescaling `clock`.
+    pub fn on_signal(&mut self, signal: OccupancySignal, cycle: u64, clock: &mut DualClock) {
+        if !self.enabled {
+            return;
+        }
+        let period = clock.compute_period() as f64;
+        let new_period = match signal {
+            // Memory-bound: slow the clock (longer period).
+            OccupancySignal::Empty => {
+                if self.adjustments > 0 && cycle < self.last_slowdown_cycle + self.cooldown {
+                    return;
+                }
+                self.last_slowdown_cycle = cycle;
+                (period * (1.0 + Self::STEP)) as TimePs
+            }
+            // Compute-bound: speed the clock up (shorter period).
+            OccupancySignal::Full => {
+                if self.adjustments > 0
+                    && cycle < self.last_speedup_cycle + self.cooldown / 8
+                {
+                    return;
+                }
+                self.last_speedup_cycle = cycle;
+                (period / (1.0 + Self::STEP)) as TimePs
+            }
+        };
+        let clamped = new_period.clamp(self.nominal_period, self.max_period);
+        if clamped != clock.compute_period() {
+            clock.set_compute_period(clamped);
+            self.adjustments += 1;
+            self.trace.push((cycle, mhz_for_period_ps(clamped)));
+        }
+    }
+
+    /// The applied adjustments as `(compute cycle, clock MHz)` samples.
+    pub fn trace(&self) -> &[(u64, f64)] {
+        &self.trace
+    }
+
+    /// Number of applied clock adjustments.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// The converged clock in MHz for a given final period.
+    pub fn final_mhz(clock: &DualClock) -> f64 {
+        mhz_for_period_ps(clock.compute_period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millipede_engine::period_ps_for_mhz;
+
+    fn clock() -> DualClock {
+        DualClock::new(period_ps_for_mhz(700.0), 833)
+    }
+
+    #[test]
+    fn disabled_matcher_ignores_signals() {
+        let mut c = clock();
+        let p0 = c.compute_period();
+        let mut rm = RateMatcher::new(false, p0, 10);
+        for i in 0..100 {
+            rm.on_signal(OccupancySignal::Empty, i, &mut c);
+        }
+        assert_eq!(c.compute_period(), p0);
+        assert_eq!(rm.adjustments(), 0);
+    }
+
+    #[test]
+    fn empty_signals_slow_the_clock() {
+        let mut c = clock();
+        let p0 = c.compute_period();
+        let mut rm = RateMatcher::new(true, p0, 1);
+        rm.on_signal(OccupancySignal::Empty, 0, &mut c);
+        assert!(c.compute_period() > p0);
+        assert!((RateMatcher::final_mhz(&c) - 700.0 / 1.05).abs() < 5.0);
+    }
+
+    #[test]
+    fn full_signals_speed_up_but_cap_at_nominal() {
+        let mut c = clock();
+        let p0 = c.compute_period();
+        let mut rm = RateMatcher::new(true, p0, 1);
+        // At nominal already: Full cannot exceed the cap.
+        rm.on_signal(OccupancySignal::Full, 0, &mut c);
+        assert_eq!(c.compute_period(), p0);
+        // Slow down twice, then Full recovers toward nominal.
+        rm.on_signal(OccupancySignal::Empty, 10, &mut c);
+        rm.on_signal(OccupancySignal::Empty, 20, &mut c);
+        let slowed = c.compute_period();
+        rm.on_signal(OccupancySignal::Full, 30, &mut c);
+        assert!(c.compute_period() < slowed);
+        assert!(c.compute_period() >= p0);
+    }
+
+    #[test]
+    fn cooldown_limits_adjustment_rate() {
+        let mut c = clock();
+        let mut rm = RateMatcher::new(true, c.compute_period(), 100);
+        rm.on_signal(OccupancySignal::Empty, 0, &mut c);
+        let p1 = c.compute_period();
+        // Within cooldown: ignored.
+        rm.on_signal(OccupancySignal::Empty, 50, &mut c);
+        assert_eq!(c.compute_period(), p1);
+        // After cooldown: applied.
+        rm.on_signal(OccupancySignal::Empty, 150, &mut c);
+        assert!(c.compute_period() > p1);
+        assert_eq!(rm.adjustments(), 2);
+    }
+
+    #[test]
+    fn slowdown_clamps_at_max() {
+        let mut c = clock();
+        let p0 = c.compute_period();
+        let mut rm = RateMatcher::new(true, p0, 1);
+        for i in 0..1000 {
+            rm.on_signal(OccupancySignal::Empty, i * 2, &mut c);
+        }
+        assert!(c.compute_period() <= (p0 as f64 * RateMatcher::MAX_SLOWDOWN) as u64 + 1);
+        // ~175 MHz floor for a 700 MHz nominal.
+        assert!(RateMatcher::final_mhz(&c) > 170.0);
+    }
+
+    #[test]
+    fn converges_to_equilibrium_band() {
+        // Alternate pressure: equilibrium oscillates within one step.
+        let mut c = clock();
+        let p0 = c.compute_period();
+        let mut rm = RateMatcher::new(true, p0, 1);
+        let mut cycle = 0;
+        for _ in 0..50 {
+            rm.on_signal(OccupancySignal::Empty, cycle, &mut c);
+            cycle += 10;
+        }
+        let low = c.compute_period();
+        for _ in 0..3 {
+            rm.on_signal(OccupancySignal::Full, cycle, &mut c);
+            cycle += 10;
+            rm.on_signal(OccupancySignal::Empty, cycle, &mut c);
+            cycle += 10;
+        }
+        let p = c.compute_period() as f64;
+        assert!((p / low as f64 - 1.0).abs() < 2.0 * RateMatcher::STEP);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-bank row-buffer state machine.
+
+use crate::timing::DramTiming;
+use crate::TimePs;
+
+/// One DRAM bank: an open-row buffer plus command timing state.
+///
+/// The bank services whole read requests (the controller guarantees each
+/// request stays within a single row). For each request the bank reports the
+/// time at which the requested columns are available to be driven onto the
+/// channel data bus, honouring:
+///
+/// * row hit: `tCAS` after the bank is command-ready;
+/// * row miss with a row open: `tRP + tRCD + tCAS`, with the precharge not
+///   starting before `tRAS` has elapsed since the open row's activation;
+/// * cold miss (no row open): `tRCD + tCAS`.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Time the current/previous command sequence finishes using the bank.
+    ready_at: TimePs,
+    /// Activation time of the open row (for tRAS).
+    activated_at: TimePs,
+}
+
+/// Outcome of presenting a request to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAccess {
+    /// Time at which data is ready to start transferring on the bus.
+    pub data_ready: TimePs,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+    /// Whether an activate command was issued (for energy accounting).
+    pub activated: bool,
+}
+
+
+impl Bank {
+    /// Creates an idle bank with all rows closed.
+    pub fn new() -> Bank {
+        Bank::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Whether a request for `row` would hit the open row right now.
+    pub fn would_hit(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Earliest time the bank can accept a new command.
+    pub fn ready_at(&self) -> TimePs {
+        self.ready_at
+    }
+
+    /// Services a read of `row` starting no earlier than `earliest`,
+    /// returning when the data is bus-ready. Updates bank state.
+    pub fn access(&mut self, row: u64, earliest: TimePs, timing: &DramTiming) -> BankAccess {
+        let start = earliest.max(self.ready_at);
+        let (data_ready, row_hit, activated) = match self.open_row {
+            Some(open) if open == row => (start + timing.cycles_ps(timing.t_cas), true, false),
+            Some(_) => {
+                // Precharge may not begin until tRAS after the activation of
+                // the currently open row.
+                let pre_start = start.max(self.activated_at + timing.cycles_ps(timing.t_ras));
+                let act_start = pre_start + timing.cycles_ps(timing.t_rp);
+                self.activated_at = act_start;
+                (
+                    act_start + timing.cycles_ps(timing.t_rcd) + timing.cycles_ps(timing.t_cas),
+                    false,
+                    true,
+                )
+            }
+            None => {
+                self.activated_at = start;
+                (
+                    start + timing.cycles_ps(timing.t_rcd) + timing.cycles_ps(timing.t_cas),
+                    false,
+                    true,
+                )
+            }
+        };
+        self.open_row = Some(row);
+        self.ready_at = data_ready;
+        BankAccess {
+            data_ready,
+            row_hit,
+            activated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::default()
+    }
+
+    #[test]
+    fn cold_access_pays_rcd_plus_cas() {
+        let mut b = Bank::new();
+        let a = b.access(5, 0, &t());
+        assert!(!a.row_hit);
+        assert!(a.activated);
+        assert_eq!(a.data_ready, t().cycles_ps(9 + 9));
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn row_hit_pays_cas_only() {
+        let mut b = Bank::new();
+        let first = b.access(5, 0, &t());
+        let a = b.access(5, first.data_ready, &t());
+        assert!(a.row_hit);
+        assert!(!a.activated);
+        assert_eq!(a.data_ready, first.data_ready + t().cycles_ps(9));
+    }
+
+    #[test]
+    fn row_conflict_pays_rp_rcd_cas_after_tras() {
+        let mut b = Bank::new();
+        let first = b.access(5, 0, &t());
+        // Request a different row immediately; precharge must wait for tRAS
+        // since activation (activation happened at time 0 for the cold miss).
+        let a = b.access(6, first.data_ready, &t());
+        assert!(!a.row_hit);
+        assert!(a.activated);
+        let tras_end = t().cycles_ps(27);
+        let pre_start = first.data_ready.max(tras_end);
+        assert_eq!(a.data_ready, pre_start + t().cycles_ps(9 + 9 + 9));
+        assert_eq!(b.open_row(), Some(6));
+    }
+
+    #[test]
+    fn tras_already_satisfied_costs_no_extra() {
+        let mut b = Bank::new();
+        b.access(5, 0, &t());
+        let late = t().cycles_ps(1000);
+        let a = b.access(6, late, &t());
+        assert_eq!(a.data_ready, late + t().cycles_ps(9 + 9 + 9));
+    }
+
+    #[test]
+    fn bank_serializes_back_to_back_requests() {
+        let mut b = Bank::new();
+        let a1 = b.access(5, 0, &t());
+        // Second request presented at time 0 must queue behind the first.
+        let a2 = b.access(5, 0, &t());
+        assert_eq!(a2.data_ready, a1.data_ready + t().cycles_ps(9));
+    }
+
+    #[test]
+    fn would_hit_reflects_open_row() {
+        let mut b = Bank::new();
+        assert!(!b.would_hit(5));
+        b.access(5, 0, &t());
+        assert!(b.would_hit(5));
+        assert!(!b.would_hit(6));
+    }
+}

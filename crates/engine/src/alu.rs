@@ -1,0 +1,144 @@
+//! ALU operation semantics.
+//!
+//! Deterministic, total semantics for every operation — the simulator never
+//! traps on arithmetic:
+//!
+//! * integer overflow wraps;
+//! * division/remainder by zero yields 0 (and `i32::MIN / -1` wraps);
+//! * shifts use the low 5 bits of the shift amount;
+//! * float→int conversion truncates, saturates on overflow, and maps NaN
+//!   to 0.
+
+use millipede_isa::{AluOp, FAluOp};
+
+/// Evaluates an integer ALU operation on raw register values.
+#[inline]
+pub fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    let (sa, sb) = (a as i32, b as i32);
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_div(sb) as u32
+            }
+        }
+        AluOp::Rem => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_rem(sb) as u32
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => (sa.wrapping_shr(b & 31)) as u32,
+        AluOp::Slt => (sa < sb) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Min => sa.min(sb) as u32,
+        AluOp::Max => sa.max(sb) as u32,
+    }
+}
+
+/// Evaluates a floating-point ALU operation on `f32`-interpreted values.
+#[inline]
+pub fn eval_falu(op: FAluOp, a: u32, b: u32) -> u32 {
+    let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+    let r = match op {
+        FAluOp::Fadd => fa + fb,
+        FAluOp::Fsub => fa - fb,
+        FAluOp::Fmul => fa * fb,
+        FAluOp::Fdiv => fa / fb,
+        FAluOp::Fmin => fa.min(fb),
+        FAluOp::Fmax => fa.max(fb),
+    };
+    r.to_bits()
+}
+
+/// Signed-integer to `f32` conversion.
+#[inline]
+pub fn i2f(a: u32) -> u32 {
+    (a as i32 as f32).to_bits()
+}
+
+/// `f32` to signed-integer conversion (truncating, saturating, NaN → 0).
+#[inline]
+pub fn f2i(a: u32) -> u32 {
+    let f = f32::from_bits(a);
+    (f as i32) as u32 // Rust's `as` already saturates and maps NaN to 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(eval_alu(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(eval_alu(AluOp::Add, 2, 3), 5);
+    }
+
+    #[test]
+    fn sub_and_mul_wrap() {
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(eval_alu(AluOp::Mul, 1 << 31, 2), 0);
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(eval_alu(AluOp::Div, 7, 2) as i32, 3);
+        assert_eq!(eval_alu(AluOp::Div, (-7i32) as u32, 2) as i32, -3);
+        assert_eq!(eval_alu(AluOp::Div, 7, 0), 0);
+        // i32::MIN / -1 wraps instead of trapping.
+        assert_eq!(
+            eval_alu(AluOp::Div, i32::MIN as u32, (-1i32) as u32),
+            i32::MIN as u32
+        );
+        assert_eq!(eval_alu(AluOp::Rem, 7, 0), 0);
+        assert_eq!(eval_alu(AluOp::Rem, 7, 3) as i32, 1);
+        assert_eq!(eval_alu(AluOp::Rem, (-7i32) as u32, 3) as i32, -1);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(eval_alu(AluOp::Sll, 1, 33), 2); // 33 & 31 == 1
+        assert_eq!(eval_alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(eval_alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn comparisons_and_minmax() {
+        assert_eq!(eval_alu(AluOp::Slt, (-1i32) as u32, 0), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, (-1i32) as u32, 0), 0);
+        assert_eq!(eval_alu(AluOp::Min, (-5i32) as u32, 3) as i32, -5);
+        assert_eq!(eval_alu(AluOp::Max, (-5i32) as u32, 3) as i32, 3);
+    }
+
+    #[test]
+    fn float_ops() {
+        let a = 1.5f32.to_bits();
+        let b = 2.0f32.to_bits();
+        assert_eq!(f32::from_bits(eval_falu(FAluOp::Fadd, a, b)), 3.5);
+        assert_eq!(f32::from_bits(eval_falu(FAluOp::Fsub, a, b)), -0.5);
+        assert_eq!(f32::from_bits(eval_falu(FAluOp::Fmul, a, b)), 3.0);
+        assert_eq!(f32::from_bits(eval_falu(FAluOp::Fdiv, a, b)), 0.75);
+        assert_eq!(f32::from_bits(eval_falu(FAluOp::Fmin, a, b)), 1.5);
+        assert_eq!(f32::from_bits(eval_falu(FAluOp::Fmax, a, b)), 2.0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32::from_bits(i2f((-3i32) as u32)), -3.0);
+        assert_eq!(f2i(2.9f32.to_bits()) as i32, 2);
+        assert_eq!(f2i((-2.9f32).to_bits()) as i32, -2);
+        assert_eq!(f2i(f32::NAN.to_bits()), 0);
+        assert_eq!(f2i(1e20f32.to_bits()) as i32, i32::MAX);
+        assert_eq!(f2i((-1e20f32).to_bits()) as i32, i32::MIN);
+    }
+}

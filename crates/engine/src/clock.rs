@@ -1,0 +1,144 @@
+//! Multi-clock-domain bookkeeping.
+//!
+//! Each simulated PNM node has two clock domains (§V, Table III): the
+//! compute clock (nominal 700 MHz — and *variable* under Millipede's
+//! rate-matching DFS) and the die-stacked channel clock (1.2 GHz). Time is
+//! kept in picoseconds; the main loop repeatedly asks which domain's edge
+//! comes next and ticks that component.
+
+/// Simulated time in picoseconds.
+pub type TimePs = u64;
+
+/// Picosecond period for a frequency in MHz (rounded to the nearest ps).
+pub fn period_ps_for_mhz(mhz: f64) -> TimePs {
+    assert!(mhz > 0.0);
+    (1.0e6 / mhz).round() as TimePs
+}
+
+/// Frequency in MHz for a picosecond period.
+pub fn mhz_for_period_ps(period: TimePs) -> f64 {
+    assert!(period > 0);
+    1.0e6 / period as f64
+}
+
+/// Which domain's edge fires, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// A compute-clock edge at this time.
+    Compute(TimePs),
+    /// A channel-clock edge at this time.
+    Channel(TimePs),
+}
+
+/// A two-domain clock: compute (variable period) and memory channel (fixed).
+#[derive(Debug, Clone)]
+pub struct DualClock {
+    compute_period: TimePs,
+    channel_period: TimePs,
+    last_compute: TimePs,
+    next_compute: TimePs,
+    next_channel: TimePs,
+}
+
+impl DualClock {
+    /// Creates a clock pair with both domains' first edges at their period.
+    pub fn new(compute_period: TimePs, channel_period: TimePs) -> DualClock {
+        assert!(compute_period > 0 && channel_period > 0);
+        DualClock {
+            compute_period,
+            channel_period,
+            last_compute: 0,
+            next_compute: compute_period,
+            next_channel: channel_period,
+        }
+    }
+
+    /// The current compute period in picoseconds.
+    pub fn compute_period(&self) -> TimePs {
+        self.compute_period
+    }
+
+    /// The channel period in picoseconds.
+    pub fn channel_period(&self) -> TimePs {
+        self.channel_period
+    }
+
+    /// Rescales the compute clock (dynamic frequency scaling). The next
+    /// compute edge is rescheduled one new period after the last one.
+    pub fn set_compute_period(&mut self, period: TimePs) {
+        assert!(period > 0);
+        self.compute_period = period;
+        self.next_compute = self.last_compute + period;
+    }
+
+    /// Returns and consumes the next clock edge (compute wins ties, so a
+    /// compute edge sees all memory completions with strictly earlier
+    /// timestamps).
+    pub fn pop(&mut self) -> Edge {
+        if self.next_compute <= self.next_channel {
+            let t = self.next_compute;
+            self.last_compute = t;
+            self.next_compute += self.compute_period;
+            Edge::Compute(t)
+        } else {
+            let t = self.next_channel;
+            self.next_channel += self.channel_period;
+            Edge::Channel(t)
+        }
+    }
+
+    /// Time of the next edge without consuming it.
+    pub fn peek_time(&self) -> TimePs {
+        self.next_compute.min(self.next_channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_conversions() {
+        assert_eq!(period_ps_for_mhz(700.0), 1429);
+        assert_eq!(period_ps_for_mhz(1200.0), 833);
+        let mhz = mhz_for_period_ps(1429);
+        assert!((mhz - 699.8).abs() < 0.2);
+    }
+
+    #[test]
+    fn edges_interleave_by_time() {
+        let mut c = DualClock::new(1000, 400);
+        let mut seq = Vec::new();
+        for _ in 0..7 {
+            seq.push(c.pop());
+        }
+        assert_eq!(
+            seq,
+            vec![
+                Edge::Channel(400),
+                Edge::Channel(800),
+                Edge::Compute(1000),
+                Edge::Channel(1200),
+                Edge::Channel(1600),
+                Edge::Compute(2000),
+                Edge::Channel(2000),
+            ]
+        );
+    }
+
+    #[test]
+    fn compute_wins_ties() {
+        let mut c = DualClock::new(500, 500);
+        assert_eq!(c.pop(), Edge::Compute(500));
+        assert_eq!(c.pop(), Edge::Channel(500));
+    }
+
+    #[test]
+    fn dfs_changes_future_edges() {
+        let mut c = DualClock::new(1000, 10_000);
+        assert_eq!(c.pop(), Edge::Compute(1000));
+        c.set_compute_period(2000);
+        assert_eq!(c.pop(), Edge::Compute(3000));
+        assert_eq!(c.pop(), Edge::Compute(5000));
+    }
+}

@@ -1,0 +1,647 @@
+//! GPGPU / VWS baseline architectures (§II, §III-E, §V of the paper).
+//!
+//! One streaming multiprocessor (SM) with 32 lanes and 4-way warp
+//! multithreading — the same 128 hardware threads, record assignment
+//! excepted, as a 32-corelet Millipede processor:
+//!
+//! * **GPGPU** — 32-wide warps. Input loads coalesce into 128 B L1 blocks
+//!   (the word-interleaved assignment makes every warp access contiguous);
+//!   live state sits in banked Shared Memory striped per thread so the
+//!   kernels' indirect accesses are conflict-free (§III-E). Data-dependent
+//!   branches serialize through the IPDOM stack — the GPGPU's fundamental
+//!   BMLA problem.
+//! * **VWS** — Variable Warp Sizing \[41\]: dynamically narrows warps when
+//!   divergence hurts. The paper observes VWS always converges to 4-wide
+//!   warps on BMLAs; we model that converged operating point (8 clusters of
+//!   4 lanes, each issuing one 4-wide warp per cycle).
+//! * **VWS-row** — VWS plus Millipede's row-orientedness and flow control
+//!   grafted on (the paper's generality experiment): input loads are served
+//!   from a row prefetch buffer whose consumer groups are the warps.
+//!
+//! All three share this module; [`GpgpuConfig`] selects the variant.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod vws;
+pub mod warp;
+
+pub use config::GpgpuConfig;
+
+use millipede_core::pbuf::{Lookup, RowPrefetchBuffer};
+use millipede_core::NodeResult;
+use millipede_dram::{MemoryController, Request, TimePs};
+use millipede_engine::step::effective_access;
+use millipede_engine::{
+    period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
+};
+use millipede_isa::{AddrSpace, Instr, ReconvergenceMap};
+use millipede_mapreduce::ThreadGrid;
+use millipede_mem::{coalesce_blocks, Cache, Mshr, SharedMemoryBanks};
+use millipede_workloads::Workload;
+use warp::Warp;
+
+const TAG_PREFETCH_BASE: u64 = 1 << 40;
+const TAG_BLOCK_FILL: u64 = 1 << 41;
+
+struct Sm {
+    threads: Vec<ThreadCtx>,
+    warps: Vec<Warp>,
+    /// Outstanding memory fills per warp.
+    outstanding: Vec<u32>,
+    /// Warp busy (shared-memory serialization) until this cycle.
+    busy_until: Vec<u64>,
+    rr: Vec<usize>,
+    l1: Cache,
+    mshr: Mshr,
+    shared: SharedMemoryBanks,
+    /// The shared L1 load/store port is busy until this cycle (multi-block
+    /// coalesced accesses occupy it for one cycle per transaction).
+    lsu_busy_until: u64,
+    /// Block prefetcher state (non-row-oriented): next block to fetch.
+    pf_next: u64,
+    pf_end: u64,
+    pf_degree: u64,
+    demand_block: u64,
+}
+
+/// Runs `workload` to completion on one SM.
+///
+/// # Panics
+///
+/// Panics on kernel traps or simulated deadlock.
+pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
+    assert_eq!(cfg.lanes % cfg.warp_width, 0, "lanes must divide into warps");
+    let layout = workload.dataset.layout;
+    let grid = if cfg.wide_columns {
+        ThreadGrid::block_columns(cfg.lanes, cfg.contexts)
+    } else {
+        ThreadGrid::coalesced(cfg.lanes, cfg.contexts)
+    };
+    let row_bytes = layout.row_bytes;
+    let total_rows = layout.total_rows();
+    let program = workload.program.clone();
+    let image = workload.dataset.image.clone();
+    let rm = ReconvergenceMap::compute(&program);
+
+    let num_warps = cfg.num_warps();
+    let words_per_warp_per_row = (layout.row_words() / num_warps) as u32;
+    let mut pbuf = cfg.row_oriented.then(|| {
+        RowPrefetchBuffer::new(
+            cfg.pbuf_entries,
+            num_warps,
+            words_per_warp_per_row,
+            total_rows,
+            true,
+        )
+    });
+
+    // Threads in linear (grid thread-index) order: warp w covers
+    // [w*width, (w+1)*width).
+    let threads: Vec<ThreadCtx> = {
+        let mut slots: Vec<Option<ThreadCtx>> = (0..cfg.threads()).map(|_| None).collect();
+        for lane in 0..cfg.lanes {
+            for warp_slot in 0..cfg.contexts {
+                slots[grid.thread_index(lane, warp_slot)] =
+                    Some(workload.make_ctx(&grid, lane, warp_slot));
+            }
+        }
+        slots.into_iter().map(|s| s.expect("dense index")).collect()
+    };
+    // Default lookahead: a quarter of the L1. Running the stream to the
+    // cache edge would let fills evict blocks that lagging warps still
+    // need.
+    let pf_degree = cfg
+        .prefetch_degree
+        .unwrap_or((cfg.l1_bytes / cfg.l1_block / 4).max(2));
+    let mut sm = Sm {
+        warps: (0..num_warps)
+            .map(|w| Warp::new(w * cfg.warp_width, cfg.warp_width))
+            .collect(),
+        outstanding: vec![0; num_warps],
+        busy_until: vec![0; num_warps],
+        rr: vec![0; cfg.clusters()],
+        threads,
+        l1: Cache::new(cfg.l1_bytes, cfg.l1_assoc, cfg.l1_block),
+        mshr: Mshr::new(cfg.mshrs),
+        shared: SharedMemoryBanks::new(cfg.shared_banks),
+        lsu_busy_until: 0,
+        pf_next: 0,
+        pf_end: layout.total_bytes(),
+        pf_degree,
+        demand_block: 0,
+    };
+
+    let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
+    let mut clock = DualClock::new(
+        period_ps_for_mhz(cfg.compute_mhz),
+        cfg.timing.channel_period_ps,
+    );
+
+    let mut stats = CoreStats::default();
+    let mut cycle: u64 = 0;
+    let mut idle_streak: u64 = 0;
+    let mut last_time: TimePs = 0;
+    let mut live_warps: usize = num_warps;
+
+    while live_warps > 0 {
+        match clock.pop() {
+            Edge::Compute(now) => {
+                last_time = now;
+                cycle += 1;
+                if let Some(pbuf) = pbuf.as_mut() {
+                    pump_rows(pbuf, &mut mc, now, row_bytes, &mut stats);
+                } else {
+                    pump_blocks(&mut sm, &mut mc, now, cfg, &mut stats);
+                }
+                let mut any_issued = false;
+                for cluster in 0..cfg.clusters() {
+                    stats.issue_slots += 1;
+                    if cluster_tick(
+                        cluster, cycle, now, cfg, &program, &image, &rm, row_bytes,
+                        &mut sm, pbuf.as_mut(), &mut mc, &mut stats, &mut live_warps,
+                    ) {
+                        any_issued = true;
+                    } else {
+                        stats.stall_slots += 1;
+                    }
+                }
+                idle_streak = if any_issued { 0 } else { idle_streak + 1 };
+                assert!(
+                    idle_streak <= cfg.max_idle_cycles,
+                    "GPGPU deadlock: no issue for {idle_streak} cycles"
+                );
+            }
+            Edge::Channel(now) => {
+                last_time = now;
+                mc.tick(now);
+                for comp in mc.pop_completed(now) {
+                    if comp.tag >= TAG_BLOCK_FILL {
+                        sm.l1.fill(comp.addr);
+                        for waiter in sm.mshr.complete(comp.addr) {
+                            sm.outstanding[waiter as usize] -= 1;
+                        }
+                    } else {
+                        let slot = (comp.tag - TAG_PREFETCH_BASE) as usize;
+                        pbuf.as_mut().expect("row fill without pbuf").fill_complete(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    stats.compute_cycles = cycle;
+    stats.shared_passes = sm.shared.passes();
+    stats.l1_hits = sm.l1.stats().hits;
+    stats.l1_misses = sm.l1.stats().misses;
+    if let Some(pbuf) = &pbuf {
+        stats.flow_blocks = pbuf.stats().flow_blocks;
+        stats.premature_evictions = pbuf.stats().premature_evictions;
+    }
+
+    // Reduce in the grid's (corelet=lane, context=warp-slot) order.
+    let states: Vec<&[u32]> = (0..cfg.lanes)
+        .flat_map(|lane| {
+            (0..cfg.contexts).map(move |x| grid.thread_index(lane, x))
+        })
+        .map(|t| sm.threads[t].local.words())
+        .collect();
+    let output = workload.reduce(&states);
+    let output_ok = output == workload.reference(&grid);
+    NodeResult {
+        stats,
+        dram: mc.stats().clone(),
+        elapsed_ps: last_time,
+        output,
+        output_ok,
+    }
+}
+
+/// Hands pending row prefetches to the controller (VWS-row).
+fn pump_rows(
+    pbuf: &mut RowPrefetchBuffer,
+    mc: &mut MemoryController,
+    now: TimePs,
+    row_bytes: u64,
+    stats: &mut CoreStats,
+) {
+    while mc.free_slots() > 0 {
+        let fetches = pbuf.take_fetches(1);
+        let Some(&(slot, row)) = fetches.first() else {
+            break;
+        };
+        let req = Request {
+            addr: row * row_bytes,
+            bytes: row_bytes,
+            tag: TAG_PREFETCH_BASE + slot as u64,
+        };
+        if mc.try_push(req, now).is_err() {
+            pbuf.untake_fetch(slot);
+            break;
+        }
+        stats.prefetches += 1;
+    }
+}
+
+/// Issues sequential block prefetches up to the L1-derived lookahead.
+fn pump_blocks(
+    sm: &mut Sm,
+    mc: &mut MemoryController,
+    now: TimePs,
+    cfg: &GpgpuConfig,
+    stats: &mut CoreStats,
+) {
+    let limit = sm
+        .demand_block
+        .saturating_add(sm.pf_degree * cfg.l1_block);
+    while sm.pf_next < sm.pf_end && sm.pf_next <= limit {
+        let block = sm.pf_next;
+        if sm.l1.contains(block) || sm.mshr.pending(block) {
+            sm.pf_next += cfg.l1_block;
+            continue;
+        }
+        if sm.mshr.is_full() || mc.free_slots() == 0 {
+            break;
+        }
+        let req = Request {
+            addr: block,
+            bytes: cfg.l1_block,
+            tag: TAG_BLOCK_FILL,
+        };
+        if mc.try_push(req, now).is_err() {
+            break;
+        }
+        sm.mshr.allocate_prefetch(block);
+        sm.pf_next += cfg.l1_block;
+        stats.prefetches += 1;
+    }
+}
+
+/// One issue attempt for `cluster`; returns whether a warp issued.
+#[allow(clippy::too_many_arguments)]
+fn cluster_tick(
+    cluster: usize,
+    cycle: u64,
+    now: TimePs,
+    cfg: &GpgpuConfig,
+    program: &millipede_isa::Program,
+    image: &millipede_mem::InputImage,
+    rm: &ReconvergenceMap,
+    row_bytes: u64,
+    sm: &mut Sm,
+    mut pbuf: Option<&mut RowPrefetchBuffer>,
+    mc: &mut MemoryController,
+    stats: &mut CoreStats,
+    live_warps: &mut usize,
+) -> bool {
+    let clusters = cfg.clusters();
+    let warps_in_cluster = cfg.num_warps() / clusters;
+    for k in 0..warps_in_cluster {
+        let wi = cluster + clusters * ((sm.rr[cluster] + k) % warps_in_cluster);
+        if sm.outstanding[wi] > 0 || sm.busy_until[wi] > cycle {
+            continue;
+        }
+        let Some((pc, live)) = sm.warps[wi].current() else {
+            continue;
+        };
+        debug_assert_ne!(live, 0);
+        if try_issue_warp(
+            wi, pc, live, cycle, now, cfg, program, image, rm, row_bytes, sm,
+            pbuf.as_deref_mut(), mc, stats,
+        ) {
+            if sm.warps[wi].done() {
+                *live_warps -= 1;
+            }
+            sm.rr[cluster] = (sm.rr[cluster] + k + 1) % warps_in_cluster;
+            return true;
+        }
+    }
+    false
+}
+
+/// Attempts to execute one instruction for warp `wi` at `pc` with active
+/// mask `live`.
+#[allow(clippy::too_many_arguments)]
+fn try_issue_warp(
+    wi: usize,
+    pc: u32,
+    live: u64,
+    cycle: u64,
+    now: TimePs,
+    cfg: &GpgpuConfig,
+    program: &millipede_isa::Program,
+    image: &millipede_mem::InputImage,
+    rm: &ReconvergenceMap,
+    row_bytes: u64,
+    sm: &mut Sm,
+    pbuf: Option<&mut RowPrefetchBuffer>,
+    mc: &mut MemoryController,
+    stats: &mut CoreStats,
+) -> bool {
+    let instr = *program.fetch(pc);
+    let lanes: Vec<usize> = sm.warps[wi].threads_of(live).collect();
+    debug_assert!(lanes
+        .iter()
+        .all(|&t| sm.threads[t].pc == pc), "warp threads out of sync");
+
+    match instr {
+        Instr::Ld {
+            space: AddrSpace::Input,
+            ..
+        } => {
+            let addrs: Vec<u64> = lanes
+                .iter()
+                .map(|&t| effective_access(&sm.threads[t], program).unwrap().addr)
+                .collect();
+            if sm.lsu_busy_until > cycle {
+                // The L1 port is still draining a previous multi-block
+                // access; the warp retries next cycle.
+                stats.demand_stalls += 1;
+                return false;
+            }
+            if let Some(pbuf) = pbuf {
+                // VWS-row: all of a warp's addresses fall in one row.
+                let row = addrs[0] / row_bytes;
+                debug_assert!(addrs.iter().all(|a| a / row_bytes == row));
+                match pbuf.lookup(row) {
+                    Lookup::Ready { slot } => {
+                        for _ in &lanes {
+                            pbuf.consume(slot, wi);
+                        }
+                        stats.pbuf_hits += lanes.len() as u64;
+                        exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+                        true
+                    }
+                    Lookup::Filling | Lookup::Future => {
+                        stats.demand_stalls += 1;
+                        false
+                    }
+                    Lookup::Evicted => unreachable!("flow control is on for VWS-row"),
+                }
+            } else {
+                let blocks = coalesce_blocks(&addrs, cfg.l1_block);
+                sm.demand_block = sm.demand_block.max(blocks.iter().copied().max().unwrap());
+                let missing: Vec<u64> =
+                    blocks.iter().copied().filter(|&b| !sm.l1.access(b)).collect();
+                if missing.is_empty() {
+                    // Each additional coalesced transaction occupies the
+                    // shared L1 port for another cycle — the cost of an
+                    // uncoalesceable layout (§IV-C).
+                    if blocks.len() > 1 {
+                        sm.lsu_busy_until = cycle + blocks.len() as u64 - 1;
+                    }
+                    exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+                    return true;
+                }
+                for block in missing {
+                    if sm.mshr.pending(block) {
+                        sm.mshr.allocate(block, wi as u64);
+                        sm.outstanding[wi] += 1;
+                    } else if !sm.mshr.is_full() && mc.free_slots() > 0 {
+                        let req = Request {
+                            addr: block,
+                            bytes: cfg.l1_block,
+                            tag: TAG_BLOCK_FILL,
+                        };
+                        if mc.try_push(req, now).is_ok() {
+                            sm.mshr.allocate(block, wi as u64);
+                            sm.outstanding[wi] += 1;
+                            stats.demand_fetches += 1;
+                        }
+                    }
+                }
+                stats.demand_stalls += 1;
+                false
+            }
+        }
+        Instr::Ld {
+            space: AddrSpace::Local,
+            ..
+        }
+        | Instr::St { .. } => {
+            // Shared memory: per-thread state striped so lane i's words live
+            // in bank i — conflict-free for these kernels, but the banking
+            // model is consulted for generality and energy accounting.
+            let bank_addrs: Vec<u64> = lanes
+                .iter()
+                .map(|&t| {
+                    let a = effective_access(&sm.threads[t], program).unwrap().addr;
+                    (a / 4) * (cfg.shared_banks as u64 * 4)
+                        + (t as u64 % cfg.shared_banks as u64) * 4
+                })
+                .collect();
+            let passes = sm.shared.conflict_passes(&bank_addrs).max(1) as u64;
+            if passes > 1 {
+                sm.busy_until[wi] = cycle + passes - 1;
+            }
+            exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+            true
+        }
+        Instr::Br { .. } => {
+            let mut taken_mask = 0u64;
+            let mut nt_mask = 0u64;
+            let mut target = 0u32;
+            let first = sm.warps[wi].first_thread;
+            for &t in &lanes {
+                let effect = step(&mut sm.threads[t], program, image)
+                    .unwrap_or_else(|trap| panic!("kernel trap thread {t}: {trap}"));
+                stats.instructions += 1;
+                stats.branches += 1;
+                match effect {
+                    StepEffect::Branch { taken } => {
+                        let bit = 1u64 << (t - first);
+                        if taken {
+                            taken_mask |= bit;
+                            target = sm.threads[t].pc;
+                        } else {
+                            nt_mask |= bit;
+                        }
+                    }
+                    other => unreachable!("branch stepped to {other:?}"),
+                }
+            }
+            stats.issues += 1;
+            stats.lane_idle += (cfg.warp_width - lanes.len()) as u64;
+            if nt_mask == 0 {
+                sm.warps[wi].advance_to(target);
+            } else if taken_mask == 0 {
+                sm.warps[wi].advance_to(pc + 1);
+            } else {
+                stats.divergent_branches += 1;
+                sm.warps[wi].diverge(
+                    taken_mask,
+                    target,
+                    nt_mask,
+                    pc + 1,
+                    rm.reconvergence_pc(pc),
+                );
+            }
+            true
+        }
+        _ => {
+            exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+            true
+        }
+    }
+}
+
+/// Steps every selected lane through one (non-branch) instruction and
+/// advances the warp.
+fn exec_lanes(
+    wi: usize,
+    lanes: &[usize],
+    sm: &mut Sm,
+    program: &millipede_isa::Program,
+    image: &millipede_mem::InputImage,
+    stats: &mut CoreStats,
+    cfg: &GpgpuConfig,
+) {
+    let first = sm.warps[wi].first_thread;
+    let mut next_pc = None;
+    let mut any_live = false;
+    for &t in lanes {
+        let effect = step(&mut sm.threads[t], program, image)
+            .unwrap_or_else(|trap| panic!("kernel trap thread {t}: {trap}"));
+        stats.instructions += 1;
+        match effect {
+            StepEffect::InputLoad { .. } => stats.input_loads += 1,
+            StepEffect::LocalLoad { .. } => stats.local_loads += 1,
+            StepEffect::LocalStore { .. } => stats.local_stores += 1,
+            StepEffect::Halt => {
+                sm.warps[wi].halt_thread(t - first);
+            }
+            _ => {}
+        }
+        if !sm.threads[t].halted {
+            next_pc = Some(sm.threads[t].pc);
+            any_live = true;
+        }
+    }
+    stats.issues += 1;
+    stats.lane_idle += (cfg.warp_width - lanes.len()) as u64;
+    if any_live {
+        sm.warps[wi].advance_to(next_pc.expect("live thread has a pc"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millipede_workloads::Benchmark;
+
+    fn small(bench: Benchmark) -> Workload {
+        Workload::build(bench, 2, 2048, 7)
+    }
+
+    #[test]
+    fn gpgpu_count_runs_and_validates() {
+        let r = run(&small(Benchmark::Count), &GpgpuConfig::gpgpu());
+        assert!(r.output_ok);
+        assert!(r.stats.divergent_branches > 0, "count's 75/25 branch diverges");
+        assert!(r.stats.lane_idle > 0);
+    }
+
+    #[test]
+    fn gpgpu_nbayes_runs_and_validates() {
+        let r = run(&small(Benchmark::NBayes), &GpgpuConfig::gpgpu());
+        assert!(r.output_ok);
+        // Coalesced input: no duplicated fetches.
+        let w = small(Benchmark::NBayes);
+        assert_eq!(r.dram.bytes_transferred, w.dataset.total_bytes());
+    }
+
+    #[test]
+    fn vws_narrow_warps_waste_fewer_lanes() {
+        let w = small(Benchmark::Count);
+        let g = run(&w, &GpgpuConfig::gpgpu());
+        let v = run(&w, &GpgpuConfig::vws());
+        assert!(v.output_ok);
+        // Same thread work, less SIMT waste.
+        assert_eq!(g.stats.instructions, v.stats.instructions);
+        assert!(v.stats.lane_idle < g.stats.lane_idle);
+        assert!(v.elapsed_ps <= g.elapsed_ps);
+    }
+
+    #[test]
+    fn vws_row_runs_and_validates() {
+        let r = run(&small(Benchmark::Variance), &GpgpuConfig::vws_row());
+        assert!(r.output_ok);
+        assert_eq!(r.stats.premature_evictions, 0);
+        assert!(r.stats.pbuf_hits > 0);
+    }
+
+    #[test]
+    fn classify_float_kernel_on_gpgpu() {
+        let r = run(&small(Benchmark::Classify), &GpgpuConfig::gpgpu());
+        assert!(r.output_ok);
+    }
+
+    #[test]
+    fn sixty_four_lane_sm_runs_fig6_config() {
+        let mut c = GpgpuConfig::gpgpu();
+        c.lanes = 64;
+        c.warp_width = 64;
+        let r = run(&small(Benchmark::Count), &c);
+        assert!(r.output_ok);
+        // Wider warps diverge at least as much per issue.
+        assert!(r.stats.divergent_branches > 0);
+    }
+
+    #[test]
+    fn vws_row_and_vws_compute_identical_outputs() {
+        let w = small(Benchmark::Kmeans);
+        let a = run(&w, &GpgpuConfig::vws());
+        let b = run(&w, &GpgpuConfig::vws_row());
+        assert_eq!(a.output, b.output);
+        // Row-oriented input path: whole rows, one activation each.
+        assert_eq!(b.dram.activations, w.dataset.layout.total_rows());
+        assert_eq!(
+            b.dram.bytes_transferred,
+            w.dataset.layout.total_rows() * 2048
+        );
+    }
+
+    #[test]
+    fn shared_memory_accesses_are_conflict_free_under_striping() {
+        // The per-thread striping of live state (§III-E) must never
+        // serialize: total passes equals total shared accesses.
+        let r = run(&small(Benchmark::NBayes), &GpgpuConfig::gpgpu());
+        let shared_accesses = r.stats.shared_passes;
+        assert!(shared_accesses > 0);
+        // passes == warp-level accesses means one pass each (no conflicts);
+        // recompute by running VWS too and checking proportionality.
+        let v = run(&small(Benchmark::NBayes), &GpgpuConfig::vws());
+        assert!(v.stats.shared_passes >= shared_accesses, "4-wide issues more, narrower accesses");
+    }
+
+    #[test]
+    fn wide_columns_break_coalescing() {
+        // §IV-C: "GPGPUs must use word-size columns to achieve coalesceable
+        // accesses". Slab-interleaving multiplies the L1 transactions per
+        // warp load and slows the SM down.
+        let w = small(Benchmark::Count);
+        let narrow = run(&w, &GpgpuConfig::gpgpu());
+        let mut cfg = GpgpuConfig::gpgpu();
+        cfg.wide_columns = true;
+        let wide = run(&w, &cfg);
+        assert!(wide.output_ok);
+        let narrow_txns = narrow.stats.l1_hits + narrow.stats.l1_misses;
+        let wide_txns = wide.stats.l1_hits + wide.stats.l1_misses;
+        assert!(
+            wide_txns >= 3 * narrow_txns,
+            "wide {wide_txns} vs narrow {narrow_txns} L1 transactions"
+        );
+        assert!(wide.elapsed_ps >= narrow.elapsed_ps);
+    }
+
+    #[test]
+    fn divergence_decreases_with_narrower_warps() {
+        let w = small(Benchmark::Count);
+        let g = run(&w, &GpgpuConfig::gpgpu());
+        let v = run(&w, &GpgpuConfig::vws());
+        // Per issue, a 4-wide warp wastes fewer lanes.
+        let g_waste = g.stats.lane_idle as f64 / g.stats.issues as f64;
+        let v_waste = v.stats.lane_idle as f64 / v.stats.issues as f64;
+        assert!(v_waste < g_waste, "VWS {v_waste:.2} vs GPGPU {g_waste:.2}");
+    }
+}

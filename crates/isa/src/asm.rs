@@ -1,0 +1,624 @@
+//! Text assembler and disassembler.
+//!
+//! The assembler exists for examples, tests, and user-authored kernels; the
+//! workload crate builds its kernels programmatically with
+//! [`crate::ProgramBuilder`] but the two forms are interchangeable
+//! (`assemble(disassemble(p))` reproduces `p`, covered by a property test).
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! # comments with '#' or '//'
+//! loop:                       # labels end with ':'
+//!     li      r1, 42          # integer, hex (0x2a) or float (1.5) immediate
+//!     add     r3, r1, r2      # register-register ALU
+//!     addi    r3, r1, -4      # register-immediate ALU: mnemonic + 'i'
+//!     fmul    r4, r4, r5      # float ALU
+//!     i2f     r4, r1
+//!     ld.in   r5, 8(r6)       # load from the input dataset
+//!     ld.local r5, 0(r6)      # load from local live state
+//!     st.local r5, 4(r6)      # store to local live state
+//!     blt     r1, r2, loop    # conditional branches: beq bne blt bge bltu bgeu bflt bfge
+//!     jmp     loop
+//!     halt
+//! ```
+
+use crate::instr::{AddrSpace, AluOp, CmpOp, FAluOp, Instr};
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Assembly errors, with 1-based source line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A malformed line with a description of the problem.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A branch referenced a label that is never defined.
+    UndefinedLabel {
+        /// 1-based source line of the reference.
+        line: usize,
+        /// The undefined label.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// 1-based source line of the second definition.
+        line: usize,
+        /// The duplicated label.
+        label: String,
+    },
+    /// The assembled program failed validation.
+    Program(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::Program(e) => write!(f, "program validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Program(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let line = line.split('#').next().unwrap_or("");
+    line.split("//").next().unwrap_or("").trim()
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    tok.trim()
+        .parse::<Reg>()
+        .map_err(|e| parse_err(line, e.to_string()))
+}
+
+/// Parses an integer immediate: decimal (optionally negative) or `0x` hex.
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| parse_err(line, format!("invalid integer immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses an `li` immediate: integer, hex, or (if it contains `.`/`e`) float.
+fn parse_li_imm(tok: &str, line: usize) -> Result<u32, AsmError> {
+    let tok = tok.trim();
+    let looks_float =
+        tok.contains('.') || (tok.contains(['e', 'E']) && !tok.to_lowercase().starts_with("0x"));
+    if looks_float {
+        let f: f32 = tok
+            .parse()
+            .map_err(|_| parse_err(line, format!("invalid float immediate `{tok}`")))?;
+        return Ok(f.to_bits());
+    }
+    let v = parse_int(tok, line)?;
+    if v > u32::MAX as i64 || v < i32::MIN as i64 {
+        return Err(parse_err(line, format!("immediate `{tok}` out of range")));
+    }
+    Ok(v as u32)
+}
+
+/// Parses `offset(reg)` memory operands.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let tok = tok.trim();
+    let open = tok
+        .find('(')
+        .ok_or_else(|| parse_err(line, format!("expected `offset(reg)`, got `{tok}`")))?;
+    if !tok.ends_with(')') {
+        return Err(parse_err(line, format!("expected `offset(reg)`, got `{tok}`")));
+    }
+    let off_str = &tok[..open];
+    let reg_str = &tok[open + 1..tok.len() - 1];
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        let v = parse_int(off_str, line)?;
+        i32::try_from(v).map_err(|_| parse_err(line, format!("offset `{off_str}` out of range")))?
+    };
+    Ok((offset, parse_reg(reg_str, line)?))
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|op| op.mnemonic() == mnemonic)
+}
+
+fn falu_op(mnemonic: &str) -> Option<FAluOp> {
+    FAluOp::ALL.into_iter().find(|op| op.mnemonic() == mnemonic)
+}
+
+fn cmp_op(mnemonic: &str) -> Option<CmpOp> {
+    CmpOp::ALL.into_iter().find(|op| op.mnemonic() == mnemonic)
+}
+
+enum PendingTarget {
+    Resolved(u32),
+    Named(String),
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// ```
+/// use millipede_isa::{assemble, disassemble};
+///
+/// let p = assemble("demo", "li r1, 3\naddi r1, r1, 4\nhalt\n").unwrap();
+/// assert_eq!(p.len(), 3);
+/// // Disassembly round-trips.
+/// let q = assemble("demo", &disassemble(&p)).unwrap();
+/// assert_eq!(p.instrs(), q.instrs());
+/// ```
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels and raw instruction lines.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new(); // (source line, text)
+    let mut pc: u32 = 0;
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut text = strip_comment(raw);
+        // A line may carry `label:` prefixes before an instruction.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(parse_err(lineno, format!("invalid label `{label}`")));
+            }
+            if labels.insert(label.to_string(), pc).is_some() {
+                return Err(AsmError::DuplicateLabel {
+                    line: lineno,
+                    label: label.to_string(),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        lines.push((lineno, text.to_string()));
+        pc += 1;
+    }
+
+    // Pass 2: parse instructions.
+    let mut instrs = Vec::with_capacity(lines.len());
+    let mut fixups: Vec<(usize, usize, String)> = Vec::new(); // (pc, line, label)
+    for (lineno, text) in &lines {
+        let lineno = *lineno;
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text.as_str(), ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            vec![]
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(parse_err(
+                    lineno,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+        let target = |tok: &str| -> Result<PendingTarget, AsmError> {
+            match labels.get(tok) {
+                Some(&pc) => Ok(PendingTarget::Resolved(pc)),
+                None => Ok(PendingTarget::Named(tok.to_string())),
+            }
+        };
+        let instr = match mnemonic {
+            "halt" => {
+                expect(0)?;
+                Instr::Halt
+            }
+            "bar" => {
+                expect(0)?;
+                Instr::Bar
+            }
+            "jmp" => {
+                expect(1)?;
+                match target(ops[0])? {
+                    PendingTarget::Resolved(t) => Instr::Jmp { target: t },
+                    PendingTarget::Named(l) => {
+                        fixups.push((instrs.len(), lineno, l));
+                        Instr::Jmp { target: u32::MAX }
+                    }
+                }
+            }
+            "li" => {
+                expect(2)?;
+                Instr::Li {
+                    dst: parse_reg(ops[0], lineno)?,
+                    imm: parse_li_imm(ops[1], lineno)?,
+                }
+            }
+            "i2f" => {
+                expect(2)?;
+                Instr::I2F {
+                    dst: parse_reg(ops[0], lineno)?,
+                    a: parse_reg(ops[1], lineno)?,
+                }
+            }
+            "f2i" => {
+                expect(2)?;
+                Instr::F2I {
+                    dst: parse_reg(ops[0], lineno)?,
+                    a: parse_reg(ops[1], lineno)?,
+                }
+            }
+            "ld.in" | "ld.local" => {
+                expect(2)?;
+                let (offset, addr) = parse_mem_operand(ops[1], lineno)?;
+                Instr::Ld {
+                    dst: parse_reg(ops[0], lineno)?,
+                    addr,
+                    offset,
+                    space: if mnemonic == "ld.in" {
+                        AddrSpace::Input
+                    } else {
+                        AddrSpace::Local
+                    },
+                }
+            }
+            "st.local" => {
+                expect(2)?;
+                let (offset, addr) = parse_mem_operand(ops[1], lineno)?;
+                Instr::St {
+                    src: parse_reg(ops[0], lineno)?,
+                    addr,
+                    offset,
+                }
+            }
+            m if cmp_op(m).is_some() => {
+                expect(3)?;
+                let cmp = cmp_op(m).unwrap();
+                let a = parse_reg(ops[0], lineno)?;
+                let b = parse_reg(ops[1], lineno)?;
+                match target(ops[2])? {
+                    PendingTarget::Resolved(t) => Instr::Br { cmp, a, b, target: t },
+                    PendingTarget::Named(l) => {
+                        fixups.push((instrs.len(), lineno, l));
+                        Instr::Br {
+                            cmp,
+                            a,
+                            b,
+                            target: u32::MAX,
+                        }
+                    }
+                }
+            }
+            m if falu_op(m).is_some() => {
+                expect(3)?;
+                Instr::FAlu {
+                    op: falu_op(m).unwrap(),
+                    dst: parse_reg(ops[0], lineno)?,
+                    a: parse_reg(ops[1], lineno)?,
+                    b: parse_reg(ops[2], lineno)?,
+                }
+            }
+            m if alu_op(m).is_some() => {
+                expect(3)?;
+                Instr::Alu {
+                    op: alu_op(m).unwrap(),
+                    dst: parse_reg(ops[0], lineno)?,
+                    a: parse_reg(ops[1], lineno)?,
+                    b: parse_reg(ops[2], lineno)?,
+                }
+            }
+            m if m.ends_with('i') && alu_op(&m[..m.len() - 1]).is_some() => {
+                expect(3)?;
+                let v = parse_int(ops[2], lineno)?;
+                let imm = i32::try_from(v)
+                    .map_err(|_| parse_err(lineno, format!("immediate `{}` out of range", ops[2])))?;
+                Instr::AluI {
+                    op: alu_op(&m[..m.len() - 1]).unwrap(),
+                    dst: parse_reg(ops[0], lineno)?,
+                    a: parse_reg(ops[1], lineno)?,
+                    imm,
+                }
+            }
+            other => return Err(parse_err(lineno, format!("unknown mnemonic `{other}`"))),
+        };
+        instrs.push(instr);
+    }
+
+    // Resolve forward references.
+    for (pc, lineno, label) in fixups {
+        let t = *labels.get(&label).ok_or(AsmError::UndefinedLabel {
+            line: lineno,
+            label: label.clone(),
+        })?;
+        match &mut instrs[pc] {
+            Instr::Br { target, .. } | Instr::Jmp { target } => *target = t,
+            _ => unreachable!(),
+        }
+    }
+
+    Ok(Program::new(name, instrs)?)
+}
+
+/// Disassembles a program back into assembler syntax.
+///
+/// Branch targets are rendered as synthetic labels `L<pc>`, so the output
+/// reassembles to an identical program.
+pub fn disassemble(program: &Program) -> String {
+    let mut targets: Vec<u32> = program
+        .instrs()
+        .iter()
+        .filter_map(|i| match *i {
+            Instr::Br { target, .. } | Instr::Jmp { target } => Some(target),
+            _ => None,
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+
+    let mut out = String::new();
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if targets.binary_search(&(pc as u32)).is_ok() {
+            let _ = writeln!(out, "L{pc}:");
+        }
+        let _ = match *instr {
+            Instr::Alu { op, dst, a, b } => {
+                writeln!(out, "    {:<8} {dst}, {a}, {b}", op.mnemonic())
+            }
+            Instr::AluI { op, dst, a, imm } => {
+                writeln!(out, "    {:<8} {dst}, {a}, {imm}", format!("{}i", op.mnemonic()))
+            }
+            Instr::FAlu { op, dst, a, b } => {
+                writeln!(out, "    {:<8} {dst}, {a}, {b}", op.mnemonic())
+            }
+            Instr::Li { dst, imm } => writeln!(out, "    {:<8} {dst}, {}", "li", imm as i32),
+            Instr::I2F { dst, a } => writeln!(out, "    {:<8} {dst}, {a}", "i2f"),
+            Instr::F2I { dst, a } => writeln!(out, "    {:<8} {dst}, {a}", "f2i"),
+            Instr::Ld {
+                dst,
+                addr,
+                offset,
+                space,
+            } => writeln!(out, "    {:<8} {dst}, {offset}({addr})", format!("ld.{space}")),
+            Instr::St { src, addr, offset } => {
+                writeln!(out, "    {:<8} {src}, {offset}({addr})", "st.local")
+            }
+            Instr::Br { cmp, a, b, target } => {
+                writeln!(out, "    {:<8} {a}, {b}, L{target}", cmp.mnemonic())
+            }
+            Instr::Jmp { target } => writeln!(out, "    {:<8} L{target}", "jmp"),
+            Instr::Bar => writeln!(out, "    bar"),
+            Instr::Halt => writeln!(out, "    halt"),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn assembles_basic_program() {
+        let src = r#"
+            # count to 10
+            li   r1, 0
+            li   r2, 10
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+        "#;
+        let p = assemble("count", src).unwrap();
+        assert_eq!(p.len(), 5);
+        match *p.fetch(3) {
+            Instr::Br { cmp, target, .. } => {
+                assert_eq!(cmp, CmpOp::Lt);
+                assert_eq!(target, 2);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_label_references_resolve() {
+        let src = "
+            beq r0, r0, done
+            li  r1, 1
+        done:
+            halt
+        ";
+        let p = assemble("fwd", src).unwrap();
+        match *p.fetch(0) {
+            Instr::Br { target, .. } => assert_eq!(target, 2),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_negative_and_float_immediates() {
+        let p = assemble(
+            "imm",
+            "li r1, 0x10\nli r2, -3\nli r3, 2.5\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(*p.fetch(0), Instr::Li { dst: r(1), imm: 16 });
+        assert_eq!(
+            *p.fetch(1),
+            Instr::Li {
+                dst: r(2),
+                imm: (-3i32) as u32
+            }
+        );
+        assert_eq!(
+            *p.fetch(2),
+            Instr::Li {
+                dst: r(3),
+                imm: 2.5f32.to_bits()
+            }
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "mem",
+            "ld.in r1, 8(r2)\nld.local r3, (r4)\nst.local r5, -4(r6)\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(
+            *p.fetch(0),
+            Instr::Ld {
+                dst: r(1),
+                addr: r(2),
+                offset: 8,
+                space: AddrSpace::Input
+            }
+        );
+        assert_eq!(
+            *p.fetch(1),
+            Instr::Ld {
+                dst: r(3),
+                addr: r(4),
+                offset: 0,
+                space: AddrSpace::Local
+            }
+        );
+        assert_eq!(
+            *p.fetch(2),
+            Instr::St {
+                src: r(5),
+                addr: r(6),
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn immediate_alu_forms() {
+        let p = assemble("alui", "addi r1, r2, 4\nslli r1, r1, 2\nhalt\n").unwrap();
+        assert!(matches!(
+            *p.fetch(0),
+            Instr::AluI {
+                op: AluOp::Add,
+                imm: 4,
+                ..
+            }
+        ));
+        assert!(matches!(
+            *p.fetch(1),
+            Instr::AluI {
+                op: AluOp::Sll,
+                imm: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = assemble("bad", "jmp nowhere\nhalt\n").unwrap_err();
+        assert!(matches!(e, AsmError::UndefinedLabel { .. }));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble("bad", "x:\nhalt\nx:\nhalt\n").unwrap_err();
+        assert!(matches!(e, AsmError::DuplicateLabel { .. }));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let e = assemble("bad", "frobnicate r1, r2\nhalt\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_error() {
+        let e = assemble("bad", "add r1, r2\nhalt\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { .. }));
+    }
+
+    #[test]
+    fn label_sharing_line_with_instruction() {
+        let p = assemble("inline", "top: addi r1, r1, 1\njmp top\n").unwrap();
+        match *p.fetch(1) {
+            Instr::Jmp { target } => assert_eq!(target, 0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "
+            li   r1, 0
+            li   r2, 100
+        top:
+            ld.in r3, (r1)
+            bge  r3, r2, skip
+            addi r4, r4, 1
+        skip:
+            addi r1, r1, 4
+            blt  r1, r2, top
+            fadd r5, r5, r6
+            st.local r5, 12(r7)
+            halt
+        ";
+        let p = assemble("rt", src).unwrap();
+        let text = disassemble(&p);
+        let q = assemble("rt", &text).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+    }
+
+    #[test]
+    fn barrier_assembles_and_round_trips() {
+        let p = assemble("b", "bar
+halt
+").unwrap();
+        assert_eq!(*p.fetch(0), Instr::Bar);
+        let q = assemble("b", &disassemble(&p)).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+    }
+
+    #[test]
+    fn float_li_disassembles_as_bit_pattern() {
+        // Float immediates disassemble as their integer bit pattern, which
+        // still reassembles to the same instruction.
+        let p = assemble("f", "li r1, 1.5\nhalt\n").unwrap();
+        let q = assemble("f", &disassemble(&p)).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+    }
+}

@@ -1,0 +1,440 @@
+//! Control-flow graphs and SIMT reconvergence analysis.
+//!
+//! The GPGPU baseline (§II, §V of the paper) handles divergent branches with
+//! the standard *immediate post-dominator* (IPDOM) reconvergence stack: when
+//! a warp's threads split at a data-dependent branch, both paths execute
+//! serially and the warp re-forms at the branch's immediate post-dominator.
+//! GPGPUsim gets reconvergence points from the compiler; we compute them here
+//! directly from the kernel binary:
+//!
+//! 1. partition the program into basic blocks ([`Cfg::build`]);
+//! 2. compute post-dominators with the Cooper–Harvey–Kennedy dominance
+//!    algorithm run on the reverse CFG (a virtual exit node joins every
+//!    `Halt`);
+//! 3. map every conditional branch PC to the first PC of its block's
+//!    immediate post-dominator ([`ReconvergenceMap`]).
+
+use crate::instr::Instr;
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// PC of the first instruction.
+    pub start: u32,
+    /// PC one past the last instruction.
+    pub end: u32,
+    /// Successor block indices (0, 1, or 2 of them).
+    pub succs: Vec<usize>,
+}
+
+/// A control-flow graph over a [`Program`].
+#[derive(Debug)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    /// Block index containing each PC.
+    block_of_pc: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let instrs = program.instrs();
+        let n = instrs.len();
+
+        // Leaders: pc 0, every branch/jump target, every instruction after a
+        // control-flow instruction.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, instr) in instrs.iter().enumerate() {
+            match *instr {
+                Instr::Br { target, .. } => {
+                    leader[target as usize] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Jmp { target } => {
+                    leader[target as usize] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Halt
+                    if pc + 1 < n => {
+                        leader[pc + 1] = true;
+                    }
+                _ => {}
+            }
+        }
+
+        // Carve blocks.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of_pc = vec![usize::MAX; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            block_of_pc[pc] = blocks.len();
+            let last_in_block = pc + 1 == n || leader[pc + 1];
+            if last_in_block {
+                blocks.push(Block {
+                    start: start as u32,
+                    end: (pc + 1) as u32,
+                    succs: Vec::new(),
+                });
+                start = pc + 1;
+            }
+        }
+
+        // Successor edges.
+        let num_blocks = blocks.len();
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..num_blocks {
+            let last_pc = blocks[b].end as usize - 1;
+            let succs: Vec<usize> = match instrs[last_pc] {
+                Instr::Br { target, .. } => {
+                    let taken = block_of_pc[target as usize];
+                    let mut s = vec![taken];
+                    // Fallthrough exists by program validation (a Br is never
+                    // the final instruction).
+                    let fall = block_of_pc[last_pc + 1];
+                    if fall != taken {
+                        s.push(fall);
+                    }
+                    s
+                }
+                Instr::Jmp { target } => vec![block_of_pc[target as usize]],
+                Instr::Halt => vec![],
+                // Fallthrough into the next block (next pc is a leader).
+                _ => vec![block_of_pc[last_pc + 1]],
+            };
+            blocks[b].succs = succs;
+        }
+
+        Cfg {
+            blocks,
+            block_of_pc,
+        }
+    }
+
+    /// The basic blocks, in program order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Index of the block containing `pc`.
+    pub fn block_of(&self, pc: u32) -> usize {
+        self.block_of_pc[pc as usize]
+    }
+
+    /// Computes the immediate post-dominator of each block.
+    ///
+    /// Returns `ipdom[b]`, the index of block `b`'s immediate post-dominator,
+    /// or `None` when the only post-dominator is the virtual exit (i.e. the
+    /// paths only rejoin at thread termination) or the block is unreachable
+    /// backwards from any exit.
+    pub fn immediate_post_dominators(&self) -> Vec<Option<usize>> {
+        // Work on the reverse CFG with a virtual exit node appended; then
+        // post-dominance over the CFG is dominance over the reverse CFG.
+        let n = self.blocks.len();
+        let exit = n; // virtual node index
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reverse-CFG predecessors = CFG successors... see below
+
+        // reverse-CFG edge v -> u exists for each CFG edge u -> v.
+        // For the dominance algorithm on the reverse CFG rooted at `exit` we
+        // need, for each node, its reverse-CFG predecessors, which are its
+        // CFG successors.
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                // CFG edge b -> s; reverse edge s -> b; so b's reverse-preds
+                // include s.
+                preds[b].push(s);
+            }
+            if block.succs.is_empty() {
+                // Halt block: CFG edge b -> exit.
+                preds[b].push(exit);
+            }
+        }
+
+        // Reverse post-order of the reverse CFG from exit. Reverse-CFG
+        // successors of node v are its CFG predecessors.
+        let mut cfg_preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                cfg_preds[s].push(b);
+            }
+            if block.succs.is_empty() {
+                cfg_preds[exit].push(b);
+            }
+        }
+        let mut order = Vec::with_capacity(n + 1); // postorder
+        let mut seen = vec![false; n + 1];
+        // Iterative DFS from exit over reverse-CFG edges (= cfg_preds).
+        let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+        seen[exit] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < cfg_preds[v].len() {
+                let w = cfg_preds[v][*i];
+                *i += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+        // rpo_index: position in reverse post-order (exit first).
+        let mut rpo_index = vec![usize::MAX; n + 1];
+        for (i, &v) in order.iter().rev().enumerate() {
+            rpo_index[v] = i;
+        }
+
+        // Cooper–Harvey–Kennedy.
+        let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+        idom[exit] = Some(exit);
+        let intersect = |idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = idom[a].unwrap();
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = idom[b].unwrap();
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Process in reverse post-order, skipping exit.
+            for &v in order.iter().rev() {
+                if v == exit {
+                    continue;
+                }
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[v] {
+                    if idom[p].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                        });
+                    }
+                }
+                if new_idom.is_some() && idom[v] != new_idom {
+                    idom[v] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        (0..n)
+            .map(|b| match idom[b] {
+                Some(d) if d != exit => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Reconvergence PCs for every conditional branch in a program.
+///
+/// `None` means the divergent paths only rejoin when the thread halts.
+#[derive(Debug, Clone)]
+pub struct ReconvergenceMap {
+    map: HashMap<u32, Option<u32>>,
+}
+
+impl ReconvergenceMap {
+    /// Computes the reconvergence map of `program`.
+    pub fn compute(program: &Program) -> ReconvergenceMap {
+        let cfg = Cfg::build(program);
+        let ipdom = cfg.immediate_post_dominators();
+        let mut map = HashMap::new();
+        for (pc, instr) in program.instrs().iter().enumerate() {
+            if instr.is_branch() {
+                let block = cfg.block_of(pc as u32);
+                let reconv = ipdom[block].map(|b| cfg.blocks()[b].start);
+                map.insert(pc as u32, reconv);
+            }
+        }
+        ReconvergenceMap { map }
+    }
+
+    /// Reconvergence PC of the branch at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` does not hold a conditional branch.
+    pub fn reconvergence_pc(&self, pc: u32) -> Option<u32> {
+        self.map[&pc]
+    }
+
+    /// Number of conditional branches in the program.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the program contains no conditional branches.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = assemble("s", "li r1, 1\nli r2, 2\nhalt\n").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn if_then_else_blocks_and_ipdom() {
+        // if (r1 < r2) r3 = 1 else r3 = 2; r4 = r3
+        let p = assemble(
+            "ite",
+            "
+            blt r1, r2, then
+            li  r3, 2
+            jmp join
+        then:
+            li  r3, 1
+        join:
+            li  r4, 7
+            halt
+        ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        // Blocks: [br], [li r3,2; jmp], [li r3,1], [li r4; halt]
+        assert_eq!(cfg.blocks().len(), 4);
+        let ipdom = cfg.immediate_post_dominators();
+        // The branch block's ipdom is the join block.
+        let join_block = cfg.block_of(4);
+        assert_eq!(ipdom[cfg.block_of(0)], Some(join_block));
+
+        let rm = ReconvergenceMap::compute(&p);
+        assert_eq!(rm.reconvergence_pc(0), Some(4));
+        assert_eq!(rm.len(), 1);
+    }
+
+    #[test]
+    fn loop_branch_reconverges_at_exit_block() {
+        let p = assemble(
+            "loop",
+            "
+        top:
+            addi r1, r1, 1
+            blt  r1, r2, top
+            halt
+        ",
+        )
+        .unwrap();
+        let rm = ReconvergenceMap::compute(&p);
+        // The loop branch's ipdom is the halt block (pc 2).
+        assert_eq!(rm.reconvergence_pc(1), Some(2));
+    }
+
+    #[test]
+    fn branch_to_halt_reconverges_at_exit() {
+        // Taken path halts; fallthrough continues and halts separately. The
+        // only common post-dominator is the virtual exit.
+        let p = assemble(
+            "div",
+            "
+            beq r1, r2, done
+            li  r3, 1
+        done:
+            halt
+        ",
+        )
+        .unwrap();
+        let rm = ReconvergenceMap::compute(&p);
+        // Here both paths do reach the same halt block, so it reconverges.
+        assert_eq!(rm.reconvergence_pc(0), Some(2));
+    }
+
+    #[test]
+    fn two_separate_halts_reconverge_only_at_exit() {
+        let p = assemble(
+            "twohalts",
+            "
+            beq r1, r2, other
+            halt
+        other:
+            halt
+        ",
+        )
+        .unwrap();
+        let rm = ReconvergenceMap::compute(&p);
+        assert_eq!(rm.reconvergence_pc(0), None);
+    }
+
+    #[test]
+    fn nested_if_reconvergence() {
+        let p = assemble(
+            "nested",
+            "
+            blt r1, r2, outer_then
+            li  r3, 0
+            jmp outer_join
+        outer_then:
+            blt r1, r4, inner_then
+            li  r3, 1
+            jmp inner_join
+        inner_then:
+            li  r3, 2
+        inner_join:
+            li  r5, 1
+        outer_join:
+            li  r6, 1
+            halt
+        ",
+        )
+        .unwrap();
+        let rm = ReconvergenceMap::compute(&p);
+        // Outer branch (pc 0) reconverges at outer_join (pc 8).
+        assert_eq!(rm.reconvergence_pc(0), Some(8));
+        // Inner branch (pc 3) reconverges at inner_join (pc 7).
+        assert_eq!(rm.reconvergence_pc(3), Some(7));
+    }
+
+    #[test]
+    fn block_of_pc_is_consistent() {
+        let p = assemble(
+            "b",
+            "
+            blt r1, r2, x
+            li  r3, 0
+        x:
+            halt
+        ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        for block in cfg.blocks() {
+            for pc in block.start..block.end {
+                assert_eq!(
+                    cfg.block_of(pc),
+                    cfg.block_of(block.start),
+                    "pc {pc} not in its own block"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_with_taken_equal_fallthrough_has_single_succ() {
+        // beq to the immediately following instruction.
+        let p = assemble("deg", "beq r1, r2, next\nnext:\nhalt\n").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks()[cfg.block_of(0)].succs.len(), 1);
+    }
+}

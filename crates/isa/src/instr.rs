@@ -1,0 +1,474 @@
+//! Instruction definitions.
+//!
+//! Every instruction is a fixed-size enum variant; programs are `Vec<Instr>`
+//! and program counters are indices into that vector. Branch targets are
+//! absolute PCs — the [`crate::builder::ProgramBuilder`] and the text
+//! assembler resolve symbolic labels to PCs at build time.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// The two memory address spaces visible to kernels.
+///
+/// The split mirrors the paper's §III: BMLA kernels touch (1) the huge,
+/// sequentially-read **input** dataset resident in die-stacked DRAM and
+/// (2) a small amount of **local** intermediate live state (the partially
+/// reduced Map output plus constants). Which hardware structure backs each
+/// space is an architecture decision:
+///
+/// | Architecture | `Input` backed by            | `Local` backed by       |
+/// |--------------|------------------------------|-------------------------|
+/// | Millipede    | row prefetch buffers         | per-corelet local memory|
+/// | SSMC         | L1 D-cache (block prefetch)  | L1 D-cache              |
+/// | GPGPU / VWS  | L1 D-cache (coalesced)       | banked Shared Memory    |
+/// | multicore    | L1/L2 hierarchy              | L1/L2 hierarchy         |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AddrSpace {
+    /// The read-only input dataset in die-stacked DRAM.
+    Input,
+    /// Per-thread intermediate live state (read/write).
+    Local,
+}
+
+impl fmt::Display for AddrSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrSpace::Input => write!(f, "in"),
+            AddrSpace::Local => write!(f, "local"),
+        }
+    }
+}
+
+/// Integer ALU operations (register-register and register-immediate forms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Signed division; division by zero yields 0 (simulator convention).
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set if less than, signed (`dst = (a < b) as u32`).
+    Slt,
+    /// Set if less than, unsigned.
+    Sltu,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Mnemonic used by the assembler/disassembler (register-register form).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+        }
+    }
+
+    /// All integer ALU operations (used by property tests).
+    pub const ALL: [AluOp; 15] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+}
+
+/// Single-precision floating-point ALU operations.
+///
+/// Registers are untyped 32-bit values; these operations reinterpret the bit
+/// patterns as IEEE-754 `f32`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FAluOp {
+    /// Floating-point addition.
+    Fadd,
+    /// Floating-point subtraction.
+    Fsub,
+    /// Floating-point multiplication.
+    Fmul,
+    /// Floating-point division.
+    Fdiv,
+    /// Floating-point minimum (`f32::min` semantics).
+    Fmin,
+    /// Floating-point maximum.
+    Fmax,
+}
+
+impl FAluOp {
+    /// Mnemonic used by the assembler/disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FAluOp::Fadd => "fadd",
+            FAluOp::Fsub => "fsub",
+            FAluOp::Fmul => "fmul",
+            FAluOp::Fdiv => "fdiv",
+            FAluOp::Fmin => "fmin",
+            FAluOp::Fmax => "fmax",
+        }
+    }
+
+    /// All floating-point ALU operations.
+    pub const ALL: [FAluOp; 6] = [
+        FAluOp::Fadd,
+        FAluOp::Fsub,
+        FAluOp::Fmul,
+        FAluOp::Fdiv,
+        FAluOp::Fmin,
+        FAluOp::Fmax,
+    ];
+}
+
+/// Comparison kinds for conditional branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal (bitwise).
+    Eq,
+    /// Not equal (bitwise).
+    Ne,
+    /// Less than, signed integers.
+    Lt,
+    /// Greater than or equal, signed integers.
+    Ge,
+    /// Less than, unsigned integers.
+    Ltu,
+    /// Greater than or equal, unsigned integers.
+    Geu,
+    /// Less than, IEEE-754 `f32` (false on NaN).
+    Flt,
+    /// Greater than or equal, IEEE-754 `f32` (false on NaN).
+    Fge,
+}
+
+impl CmpOp {
+    /// Branch mnemonic (`b` + comparison) used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "beq",
+            CmpOp::Ne => "bne",
+            CmpOp::Lt => "blt",
+            CmpOp::Ge => "bge",
+            CmpOp::Ltu => "bltu",
+            CmpOp::Geu => "bgeu",
+            CmpOp::Flt => "bflt",
+            CmpOp::Fge => "bfge",
+        }
+    }
+
+    /// Evaluates the comparison on two raw register values.
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => (a as i32) < (b as i32),
+            CmpOp::Ge => (a as i32) >= (b as i32),
+            CmpOp::Ltu => a < b,
+            CmpOp::Geu => a >= b,
+            CmpOp::Flt => f32::from_bits(a) < f32::from_bits(b),
+            CmpOp::Fge => f32::from_bits(a) >= f32::from_bits(b),
+        }
+    }
+
+    /// All comparison kinds.
+    pub const ALL: [CmpOp; 8] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Ge,
+        CmpOp::Ltu,
+        CmpOp::Geu,
+        CmpOp::Flt,
+        CmpOp::Fge,
+    ];
+}
+
+/// A single instruction of the mini-ISA.
+///
+/// Program counters (`pc`) and branch targets are indices into the program's
+/// instruction vector. All memory accesses are 4-byte words and must be
+/// 4-byte aligned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `dst = op(a, b)` on integer registers.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `dst = op(a, imm)` with a sign-extended 32-bit immediate.
+    AluI {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Register operand.
+        a: Reg,
+        /// Immediate operand.
+        imm: i32,
+    },
+    /// `dst = op(a, b)` on `f32`-interpreted registers.
+    FAlu {
+        /// The operation.
+        op: FAluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// Load a 32-bit immediate (integer or float bit pattern).
+    Li {
+        /// Destination register.
+        dst: Reg,
+        /// The raw 32-bit value.
+        imm: u32,
+    },
+    /// Convert signed integer in `a` to `f32` in `dst`.
+    I2F {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        a: Reg,
+    },
+    /// Convert `f32` in `a` to signed integer in `dst` (truncating; saturates
+    /// on overflow, 0 on NaN).
+    F2I {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        a: Reg,
+    },
+    /// Load word: `dst = mem[space][a + offset]`.
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Base-address register.
+        addr: Reg,
+        /// Signed byte offset.
+        offset: i32,
+        /// Which address space.
+        space: AddrSpace,
+    },
+    /// Store word: `mem[Local][a + offset] = src`. Only the local space is
+    /// writable — the input dataset is read-only (§IV-E of the paper).
+    St {
+        /// Source register.
+        src: Reg,
+        /// Base-address register.
+        addr: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Conditional branch: `if cmp(a, b) { pc = target }`.
+    Br {
+        /// The comparison.
+        cmp: CmpOp,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Absolute target PC (taken path).
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Absolute target PC.
+        target: u32,
+    },
+    /// Processor-wide barrier: the thread blocks until every live thread on
+    /// the processor reaches a barrier. Used only by the software-barrier
+    /// alternative to Millipede's hardware flow control that §IV-C of the
+    /// paper discusses (and dismisses).
+    Bar,
+    /// Terminate this thread.
+    Halt,
+}
+
+impl Instr {
+    /// The register written by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { dst, .. }
+            | Instr::AluI { dst, .. }
+            | Instr::FAlu { dst, .. }
+            | Instr::Li { dst, .. }
+            | Instr::I2F { dst, .. }
+            | Instr::F2I { dst, .. }
+            | Instr::Ld { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// The registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Alu { a, b, .. } | Instr::FAlu { a, b, .. } => vec![a, b],
+            Instr::AluI { a, .. } | Instr::I2F { a, .. } | Instr::F2I { a, .. } => vec![a],
+            Instr::Ld { addr, .. } => vec![addr],
+            Instr::St { src, addr, .. } => vec![src, addr],
+            Instr::Br { a, b, .. } => vec![a, b],
+            Instr::Li { .. } | Instr::Jmp { .. } | Instr::Bar | Instr::Halt => vec![],
+        }
+    }
+
+    /// Whether this is a control-flow instruction (branch, jump, or halt).
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Br { .. } | Instr::Jmp { .. } | Instr::Halt)
+    }
+
+    /// Whether this is a *conditional* (potentially divergent) branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Br { .. })
+    }
+
+    /// Whether this instruction accesses memory, and in which space.
+    pub fn mem_space(&self) -> Option<AddrSpace> {
+        match self {
+            Instr::Ld { space, .. } => Some(*space),
+            Instr::St { .. } => Some(AddrSpace::Local),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn cmp_eval_signed_vs_unsigned() {
+        // -1 (0xFFFF_FFFF) is less than 1 signed, greater unsigned.
+        let neg1 = (-1i32) as u32;
+        assert!(CmpOp::Lt.eval(neg1, 1));
+        assert!(!CmpOp::Ltu.eval(neg1, 1));
+        assert!(CmpOp::Geu.eval(neg1, 1));
+        assert!(!CmpOp::Ge.eval(neg1, 1));
+    }
+
+    #[test]
+    fn cmp_eval_float() {
+        let a = 1.5f32.to_bits();
+        let b = 2.5f32.to_bits();
+        assert!(CmpOp::Flt.eval(a, b));
+        assert!(!CmpOp::Fge.eval(a, b));
+        assert!(CmpOp::Fge.eval(b, a));
+        // NaN compares false both ways.
+        let nan = f32::NAN.to_bits();
+        assert!(!CmpOp::Flt.eval(nan, b));
+        assert!(!CmpOp::Fge.eval(nan, b));
+    }
+
+    #[test]
+    fn cmp_eval_eq_ne_bitwise() {
+        assert!(CmpOp::Eq.eval(7, 7));
+        assert!(CmpOp::Ne.eval(7, 8));
+        // +0.0 and -0.0 have different bit patterns: Eq is bitwise.
+        assert!(CmpOp::Ne.eval(0.0f32.to_bits(), (-0.0f32).to_bits()));
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            dst: r(3),
+            a: r(1),
+            b: r(2),
+        };
+        assert_eq!(i.def(), Some(r(3)));
+        assert_eq!(i.uses(), vec![r(1), r(2)]);
+
+        let st = Instr::St {
+            src: r(4),
+            addr: r(5),
+            offset: 8,
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![r(4), r(5)]);
+
+        assert_eq!(Instr::Halt.def(), None);
+        assert!(Instr::Halt.uses().is_empty());
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Instr::Halt.is_control());
+        assert!(Instr::Jmp { target: 0 }.is_control());
+        let br = Instr::Br {
+            cmp: CmpOp::Eq,
+            a: r(1),
+            b: r(2),
+            target: 0,
+        };
+        assert!(br.is_control());
+        assert!(br.is_branch());
+        assert!(!Instr::Jmp { target: 0 }.is_branch());
+        assert!(!Instr::Li { dst: r(1), imm: 0 }.is_control());
+    }
+
+    #[test]
+    fn mem_space_classification() {
+        let ld = Instr::Ld {
+            dst: r(1),
+            addr: r(2),
+            offset: 0,
+            space: AddrSpace::Input,
+        };
+        assert_eq!(ld.mem_space(), Some(AddrSpace::Input));
+        let st = Instr::St {
+            src: r(1),
+            addr: r(2),
+            offset: 0,
+        };
+        assert_eq!(st.mem_space(), Some(AddrSpace::Local));
+        assert_eq!(Instr::Halt.mem_space(), None);
+    }
+}

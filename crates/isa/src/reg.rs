@@ -1,0 +1,154 @@
+//! Architectural registers.
+//!
+//! Each hardware thread context owns [`NUM_REGS`] 32-bit registers (Table III
+//! of the paper: "# Registers per corelet/lane/core — 32"). Register `r0` is
+//! hardwired to zero, RISC-style: reads return 0 and writes are discarded.
+//! The zero register costs nothing in the simulated register file and makes
+//! kernels noticeably shorter, which matters when matching the paper's
+//! instructions-per-input-word budgets (Table IV).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of architectural registers per hardware thread context.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register identifier (`r0`–`r31`).
+///
+/// `r0` is hardwired to zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < NUM_REGS, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register identifier, returning `None` when out of range.
+    #[inline]
+    pub const fn try_new(index: u8) -> Option<Reg> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..NUM_REGS`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError(pub String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix('r')
+            .or_else(|| s.strip_prefix('R'))
+            .ok_or_else(|| ParseRegError(s.to_string()))?;
+        let index: u8 = rest.parse().map_err(|_| ParseRegError(s.to_string()))?;
+        Reg::try_new(index).ok_or_else(|| ParseRegError(s.to_string()))
+    }
+}
+
+/// Convenience constructor used pervasively by kernel builders: `r(5)`.
+#[inline]
+pub const fn r(index: u8) -> Reg {
+    Reg::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+        assert!(Reg::try_new(255).is_none());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!r(1).is_zero());
+        assert_eq!(Reg::ZERO, r(0));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(r(0).to_string(), "r0");
+        assert_eq!(r(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn parse_valid() {
+        assert_eq!("r5".parse::<Reg>().unwrap(), r(5));
+        assert_eq!("R31".parse::<Reg>().unwrap(), r(31));
+    }
+
+    #[test]
+    fn parse_invalid() {
+        assert!("x5".parse::<Reg>().is_err());
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+        assert!("r-1".parse::<Reg>().is_err());
+        assert!("r1a".parse::<Reg>().is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! Thread grid: record→thread assignment and the kernel launch ABI.
+//!
+//! The interleaved layout admits two record→thread assignments (§IV-C of
+//! the paper), selected by [`AssignMode`]:
+//!
+//! * **Slab** (Millipede, SSMC): each 2 KB row splits into one 64 B *slab*
+//!   per corelet, so corelet *c* owns words `[16c, 16c+16)` of every row —
+//!   records `[512k + 16c, 512k + 16c + 16)` of every chunk *k*. The
+//!   corelet's 4 hardware contexts take those 16 records round-robin. With
+//!   the paper's default sizes each thread processes 4 records per row —
+//!   the low number whose work variability motivates the flow-controlled
+//!   prefetch.
+//! * **WordInterleaved** (GPGPU, VWS): "GPGPUs must use word-size columns to
+//!   achieve coalesceable accesses" — thread *t* (of 128) owns words
+//!   `{t, t+128, t+256, t+384}` of every row, so a 32-lane warp's access is
+//!   one contiguous, 128-byte-aligned block.
+//!
+//! Both assignments cover every record exactly once and give each thread
+//! the same record count; only the addresses differ. The kernel ABI
+//! (registers r1–r6) encodes the assignment, so the *same kernel binary*
+//! runs under either mode.
+
+use crate::layout::InterleavedLayout;
+use millipede_engine::LaunchParams;
+use millipede_isa::reg::{r, Reg};
+
+/// ABI: lane byte offset within a row.
+pub const ABI_LANE_OFFSET: Reg = r(1);
+/// ABI: number of chunks in the dataset.
+pub const ABI_CHUNKS: Reg = r(2);
+/// ABI: records per thread per chunk.
+pub const ABI_RPTC: Reg = r(3);
+/// ABI: byte stride between a thread's consecutive records within a row.
+pub const ABI_REC_STRIDE: Reg = r(4);
+/// ABI: byte stride between fields of one record (= row bytes).
+pub const ABI_FIELD_STRIDE: Reg = r(5);
+/// ABI: byte stride between chunks (= num_fields × row bytes).
+pub const ABI_CHUNK_STRIDE: Reg = r(6);
+
+/// How records map onto hardware threads (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignMode {
+    /// Per-corelet 64 B slabs (Millipede, SSMC).
+    Slab,
+    /// Word-size columns for coalescing (GPGPU, VWS).
+    WordInterleaved,
+    /// The paper's *slab-interleaving* (§IV-C): each thread owns `n`
+    /// *contiguous* records of every row (`n = row_words / threads`). A
+    /// Millipede corelet sees the same 64 B slab either way ("Millipede can
+    /// use wider columns for layout flexibility"), but a SIMT warp's access
+    /// now strides by `n` words and spans several cache blocks — exactly
+    /// why "GPGPUs must use word-size columns to achieve coalesceable
+    /// accesses".
+    BlockColumns,
+}
+
+/// The compute grid of one PNM processor: corelets × hardware contexts.
+///
+/// For the GPGPU, "corelet" reads as *lane* and "context" as *warp*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadGrid {
+    /// Corelets (or GPGPU lanes, or SSMC cores) per processor.
+    pub corelets: usize,
+    /// Hardware thread contexts per corelet (Table III: 4).
+    pub contexts: usize,
+    /// The record→thread assignment.
+    pub mode: AssignMode,
+}
+
+impl ThreadGrid {
+    /// A slab-assigned grid (Millipede, SSMC).
+    pub fn slab(corelets: usize, contexts: usize) -> ThreadGrid {
+        ThreadGrid {
+            corelets,
+            contexts,
+            mode: AssignMode::Slab,
+        }
+    }
+
+    /// A word-interleaved grid (GPGPU, VWS).
+    pub fn coalesced(corelets: usize, contexts: usize) -> ThreadGrid {
+        ThreadGrid {
+            corelets,
+            contexts,
+            mode: AssignMode::WordInterleaved,
+        }
+    }
+
+    /// A slab-interleaved ("wide column") grid: `n` contiguous records per
+    /// thread per row.
+    pub fn block_columns(corelets: usize, contexts: usize) -> ThreadGrid {
+        ThreadGrid {
+            corelets,
+            contexts,
+            mode: AssignMode::BlockColumns,
+        }
+    }
+
+    /// The paper's default Millipede/SSMC grid: 32 corelets × 4 contexts.
+    pub fn paper_default() -> ThreadGrid {
+        ThreadGrid::slab(32, 4)
+    }
+
+    /// Total hardware threads.
+    pub fn num_threads(&self) -> usize {
+        self.corelets * self.contexts
+    }
+
+    /// Linear thread index of `(corelet, context)`.
+    ///
+    /// Slab mode orders corelet-major (a corelet's contexts are adjacent);
+    /// word-interleaved mode orders warp-lane style (a warp's lanes are
+    /// adjacent, which is what makes its accesses contiguous).
+    pub fn thread_index(&self, corelet: usize, context: usize) -> usize {
+        match self.mode {
+            AssignMode::Slab | AssignMode::BlockColumns => {
+                corelet * self.contexts + context
+            }
+            AssignMode::WordInterleaved => context * self.corelets + corelet,
+        }
+    }
+
+    /// Records owned by each corelet per chunk in slab mode (the slab width
+    /// in records).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row does not divide evenly.
+    pub fn slab_records(&self, layout: &InterleavedLayout) -> usize {
+        assert!(
+            layout.row_words().is_multiple_of(self.corelets),
+            "row words {} not divisible by corelets {}",
+            layout.row_words(),
+            self.corelets
+        );
+        layout.row_words() / self.corelets
+    }
+
+    /// Slab width in bytes (paper default: 64 B).
+    pub fn slab_bytes(&self, layout: &InterleavedLayout) -> u64 {
+        self.slab_records(layout) as u64 * 4
+    }
+
+    /// Records per thread per chunk (same in both modes).
+    pub fn records_per_thread_per_chunk(&self, layout: &InterleavedLayout) -> usize {
+        let threads = self.num_threads();
+        assert!(
+            layout.row_words().is_multiple_of(threads),
+            "row words {} not divisible by {} threads",
+            layout.row_words(),
+            threads
+        );
+        layout.row_words() / threads
+    }
+
+    /// Byte offset within a row of thread `(corelet, context)`'s first word.
+    pub fn lane_byte_offset(
+        &self,
+        layout: &InterleavedLayout,
+        corelet: usize,
+        context: usize,
+    ) -> u64 {
+        debug_assert!(corelet < self.corelets && context < self.contexts);
+        match self.mode {
+            AssignMode::Slab => {
+                corelet as u64 * self.slab_bytes(layout) + context as u64 * 4
+            }
+            AssignMode::WordInterleaved => self.thread_index(corelet, context) as u64 * 4,
+            AssignMode::BlockColumns => {
+                let n = self.records_per_thread_per_chunk(layout) as u64;
+                self.thread_index(corelet, context) as u64 * n * 4
+            }
+        }
+    }
+
+    /// Byte stride between a thread's consecutive records within a row.
+    pub fn record_stride_bytes(&self) -> u64 {
+        match self.mode {
+            AssignMode::Slab => self.contexts as u64 * 4,
+            AssignMode::WordInterleaved => self.num_threads() as u64 * 4,
+            AssignMode::BlockColumns => 4,
+        }
+    }
+
+    /// Record indices processed by thread `(corelet, context)`, in kernel
+    /// visit order (chunk-major, then stride within the row).
+    pub fn records_of_thread(
+        &self,
+        layout: &InterleavedLayout,
+        corelet: usize,
+        context: usize,
+    ) -> Vec<usize> {
+        let rpc = layout.row_words();
+        let rptc = self.records_per_thread_per_chunk(layout);
+        let (base0, stride) = match self.mode {
+            AssignMode::Slab => (
+                corelet * self.slab_records(layout) + context,
+                self.contexts,
+            ),
+            AssignMode::WordInterleaved => {
+                (self.thread_index(corelet, context), self.num_threads())
+            }
+            AssignMode::BlockColumns => (self.thread_index(corelet, context) * rptc, 1),
+        };
+        let mut out = Vec::with_capacity(layout.num_chunks * rptc);
+        for chunk in 0..layout.num_chunks {
+            let base = chunk * rpc + base0;
+            for j in 0..rptc {
+                out.push(base + j * stride);
+            }
+        }
+        out
+    }
+
+    /// Builds the standard launch parameters for thread `(corelet, context)`
+    /// (registers r1–r6 per the ABI constants).
+    pub fn launch_params(
+        &self,
+        layout: &InterleavedLayout,
+        corelet: usize,
+        context: usize,
+    ) -> LaunchParams {
+        LaunchParams::new()
+            .set(
+                ABI_LANE_OFFSET,
+                self.lane_byte_offset(layout, corelet, context) as u32,
+            )
+            .set(ABI_CHUNKS, layout.num_chunks as u32)
+            .set(ABI_RPTC, self.records_per_thread_per_chunk(layout) as u32)
+            .set(ABI_REC_STRIDE, self.record_stride_bytes() as u32)
+            .set(ABI_FIELD_STRIDE, layout.row_bytes as u32)
+            .set(ABI_CHUNK_STRIDE, layout.chunk_stride() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(fields: usize, chunks: usize) -> InterleavedLayout {
+        InterleavedLayout::new(fields, 2048, chunks)
+    }
+
+    #[test]
+    fn paper_default_sizes() {
+        let g = ThreadGrid::paper_default();
+        let l = layout(1, 1);
+        assert_eq!(g.num_threads(), 128);
+        assert_eq!(g.slab_records(&l), 16);
+        assert_eq!(g.slab_bytes(&l), 64);
+        // "128 concurrent threads each of which processes only 4 records per
+        // row" (§IV-C).
+        assert_eq!(g.records_per_thread_per_chunk(&l), 4);
+    }
+
+    #[test]
+    fn every_record_assigned_exactly_once_both_modes() {
+        for grid in [
+            ThreadGrid::slab(32, 4),
+            ThreadGrid::coalesced(32, 4),
+            ThreadGrid::block_columns(32, 4),
+        ] {
+            let l = layout(2, 3);
+            let mut seen = vec![0u32; l.num_records()];
+            for c in 0..grid.corelets {
+                for x in 0..grid.contexts {
+                    for rec in grid.records_of_thread(&l, c, x) {
+                        seen[rec] += 1;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "{:?}", grid.mode);
+        }
+    }
+
+    #[test]
+    fn lane_offsets_are_distinct_and_slab_aligned() {
+        let g = ThreadGrid::paper_default();
+        let l = layout(1, 1);
+        let mut offs = Vec::new();
+        for c in 0..g.corelets {
+            for x in 0..g.contexts {
+                offs.push(g.lane_byte_offset(&l, c, x));
+            }
+        }
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), 128);
+        for c in 0..g.corelets {
+            for x in 0..g.contexts {
+                let o = g.lane_byte_offset(&l, c, x);
+                assert!(o >= c as u64 * 64 && o < (c as u64 + 1) * 64);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_warps_touch_contiguous_aligned_words() {
+        let g = ThreadGrid::coalesced(32, 4);
+        let l = layout(1, 1);
+        for warp in 0..4 {
+            let offs: Vec<u64> = (0..32)
+                .map(|lane| g.lane_byte_offset(&l, lane, warp))
+                .collect();
+            // Contiguous 4-byte words...
+            for lane in 1..32 {
+                assert_eq!(offs[lane], offs[lane - 1] + 4);
+            }
+            // ...starting on a 128-byte boundary.
+            assert_eq!(offs[0] % 128, 0);
+        }
+    }
+
+    #[test]
+    fn record_addresses_match_lane_arithmetic_both_modes() {
+        // The kernel computes addr = chunk*chunk_stride + f*row_bytes +
+        // lane_offset + j*rec_stride; verify it equals layout.addr_of.
+        for g in [ThreadGrid::slab(32, 4), ThreadGrid::coalesced(32, 4)] {
+            let l = layout(3, 2);
+            for &(c, x) in &[(0usize, 0usize), (5, 2), (31, 3)] {
+                let lane = g.lane_byte_offset(&l, c, x);
+                let recs = g.records_of_thread(&l, c, x);
+                let rptc = g.records_per_thread_per_chunk(&l);
+                for (i, &rec) in recs.iter().enumerate() {
+                    let chunk = (i / rptc) as u64;
+                    let j = (i % rptc) as u64;
+                    for f in 0..l.num_fields {
+                        let kernel_addr = chunk * l.chunk_stride()
+                            + f as u64 * l.row_bytes
+                            + lane
+                            + j * g.record_stride_bytes();
+                        assert_eq!(kernel_addr, l.addr_of(rec, f), "{:?}", g.mode);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_width_grid_fig6() {
+        // Fig. 6 doubles the corelet count; slabs shrink to 8 records and
+        // each thread handles 2 records per chunk.
+        let g = ThreadGrid::slab(64, 4);
+        let l = layout(1, 1);
+        assert_eq!(g.slab_records(&l), 8);
+        assert_eq!(g.records_per_thread_per_chunk(&l), 2);
+        let mut seen = vec![0u32; l.num_records()];
+        for c in 0..64 {
+            for x in 0..4 {
+                for rec in g.records_of_thread(&l, c, x) {
+                    seen[rec] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn launch_params_follow_abi() {
+        let g = ThreadGrid::paper_default();
+        let l = layout(2, 5);
+        let p = g.launch_params(&l, 3, 1);
+        let get = |reg: Reg| {
+            p.values()
+                .iter()
+                .find(|(rg, _)| *rg == reg)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(get(ABI_LANE_OFFSET), 3 * 64 + 4);
+        assert_eq!(get(ABI_CHUNKS), 5);
+        assert_eq!(get(ABI_RPTC), 4);
+        assert_eq!(get(ABI_REC_STRIDE), 16);
+        assert_eq!(get(ABI_FIELD_STRIDE), 2048);
+        assert_eq!(get(ABI_CHUNK_STRIDE), 2 * 2048);
+    }
+
+    #[test]
+    fn coalesced_launch_params() {
+        let g = ThreadGrid::coalesced(32, 4);
+        let l = layout(1, 1);
+        let p = g.launch_params(&l, 7, 2);
+        let get = |reg: Reg| {
+            p.values()
+                .iter()
+                .find(|(rg, _)| *rg == reg)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(get(ABI_LANE_OFFSET), (2 * 32 + 7) * 4);
+        assert_eq!(get(ABI_REC_STRIDE), 512);
+        assert_eq!(get(ABI_RPTC), 4);
+    }
+
+    #[test]
+    fn block_columns_are_contiguous_per_thread() {
+        let g = ThreadGrid::block_columns(32, 4);
+        let l = layout(1, 1);
+        assert_eq!(g.record_stride_bytes(), 4);
+        let recs = g.records_of_thread(&l, 5, 2);
+        // 4 contiguous records per chunk.
+        assert_eq!(&recs[..4], &[recs[0], recs[0] + 1, recs[0] + 2, recs[0] + 3]);
+        // A corelet's threads still cover its usual 64 B slab.
+        let mut slab: Vec<usize> = (0..4)
+            .flat_map(|x| g.records_of_thread(&l, 5, x).into_iter().take(4))
+            .collect();
+        slab.sort_unstable();
+        assert_eq!(slab, (5 * 16..6 * 16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_columns_break_warp_contiguity() {
+        // Under slab-interleaving a 32-lane warp's addresses stride by
+        // n*4 = 16 B — spanning four 128 B blocks instead of one.
+        let g = ThreadGrid::block_columns(32, 4);
+        let l = layout(1, 1);
+        let offs: Vec<u64> = (0..32).map(|lane| g.lane_byte_offset(&l, lane, 0)).collect();
+        for w in offs.windows(2) {
+            assert_eq!(w[1] - w[0], 64, "corelet-major spacing");
+        }
+    }
+
+    #[test]
+    fn same_thread_count_same_records_per_thread() {
+        let slab = ThreadGrid::slab(32, 4);
+        let coal = ThreadGrid::coalesced(32, 4);
+        let l = layout(2, 2);
+        assert_eq!(
+            slab.records_of_thread(&l, 3, 1).len(),
+            coal.records_of_thread(&l, 3, 1).len()
+        );
+    }
+}

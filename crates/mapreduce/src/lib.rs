@@ -1,0 +1,28 @@
+//! The MapReduce programming layer.
+//!
+//! BMLAs are written as MapReductions (§III-A of the paper): each hardware
+//! thread runs the Map + partial-Reduce over its share of the input records,
+//! accumulating into its local live state; the host then performs the
+//! per-node Reduce over all threads' states (§IV-D).
+//!
+//! This crate owns the pieces of that model that are *independent of the
+//! benchmark*:
+//!
+//! * [`layout`] — the **interleaved "array of structs of arrays"** data
+//!   layout of §III-B, where records are striped across DRAM rows so the
+//!   same field of consecutive records shares a row. All four architectures
+//!   use this layout, exactly as in the paper's methodology.
+//! * [`grid`] — the record→thread assignment induced by the layout's
+//!   word-interleaved slabs, plus the standard kernel launch ABI.
+//! * [`dataset`] — a generated dataset bundled with its layout and image.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod grid;
+pub mod layout;
+
+pub use dataset::Dataset;
+pub use grid::{AssignMode, ThreadGrid, ABI_CHUNKS, ABI_CHUNK_STRIDE, ABI_FIELD_STRIDE, ABI_LANE_OFFSET,
+    ABI_REC_STRIDE, ABI_RPTC};
+pub use layout::InterleavedLayout;

@@ -1,0 +1,57 @@
+//! Memory-access coalescing for SIMT warps.
+//!
+//! A warp's input loads are coalesced into distinct cache-block transactions.
+//! With the interleaved layout (§III-B) consecutive lanes touch consecutive
+//! words, so a full 32-lane warp access to 4-byte words spans exactly one
+//! 128-byte block — the best case the paper assumes for GPGPU input traffic.
+//! Divergence shrinks the active mask, which *reduces* the data returned per
+//! block but not the number of blocks, wasting bandwidth — captured
+//! naturally because the block transaction count stays the same.
+
+/// Coalesces the active lanes' byte addresses into distinct block base
+/// addresses, preserving first-touch order.
+pub fn coalesce_blocks(addrs: &[u64], block_bytes: u64) -> Vec<u64> {
+    assert!(block_bytes.is_power_of_two());
+    let mask = !(block_bytes - 1);
+    let mut blocks: Vec<u64> = Vec::new();
+    for &a in addrs {
+        let b = a & mask;
+        if !blocks.contains(&b) {
+            blocks.push(b);
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_warp_access_is_one_block() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 4).collect();
+        assert_eq!(coalesce_blocks(&addrs, 128), vec![0]);
+    }
+
+    #[test]
+    fn misaligned_warp_access_spans_two_blocks() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| 64 + i * 4).collect();
+        assert_eq!(coalesce_blocks(&addrs, 128), vec![0, 128]);
+    }
+
+    #[test]
+    fn strided_access_touches_many_blocks() {
+        let addrs: Vec<u64> = (0..4u64).map(|i| i * 128).collect();
+        assert_eq!(coalesce_blocks(&addrs, 128), vec![0, 128, 256, 384]);
+    }
+
+    #[test]
+    fn duplicate_blocks_deduplicate_in_order() {
+        assert_eq!(coalesce_blocks(&[300, 4, 8, 260], 128), vec![256, 0]);
+    }
+
+    #[test]
+    fn empty_access() {
+        assert!(coalesce_blocks(&[], 128).is_empty());
+    }
+}

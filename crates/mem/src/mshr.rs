@@ -1,0 +1,130 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs merge concurrent misses to the same block so one DRAM fill serves
+//! every waiter — the same mechanism the paper reuses for its prefetch-
+//! trigger bits ("The PFT bit prevents later demand accesses from triggering
+//! redundant prefetches, similar to traditional MSHRs", §IV-C).
+
+use std::collections::HashMap;
+
+/// Result of allocating a miss in the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to the block: the caller must issue the DRAM fill.
+    Primary,
+    /// Fill already in flight: the waiter piggybacks on it.
+    Secondary,
+    /// No free MSHR entries: the access must retry later.
+    Full,
+}
+
+/// An MSHR file keyed by block base address. Waiters are opaque `u64` ids
+/// (thread/context identifiers chosen by the architecture model).
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: HashMap<u64, Vec<u64>>,
+    capacity: usize,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries.
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0);
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Records a miss on `block` by `waiter`.
+    pub fn allocate(&mut self, block: u64, waiter: u64) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&block) {
+            waiters.push(waiter);
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(block, vec![waiter]);
+        MshrOutcome::Primary
+    }
+
+    /// Records an in-flight *prefetch* for `block` (no waiter yet). Returns
+    /// false when the block is already pending or the file is full.
+    pub fn allocate_prefetch(&mut self, block: u64) -> bool {
+        if self.entries.contains_key(&block) || self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(block, Vec::new());
+        true
+    }
+
+    /// Whether a fill for `block` is already in flight.
+    pub fn pending(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Completes the fill for `block`, returning its waiters.
+    pub fn complete(&mut self, block: u64) -> Vec<u64> {
+        self.entries.remove(&block).unwrap_or_default()
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no fills are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a new block allocation would fail.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary_then_complete() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.allocate(128, 1), MshrOutcome::Primary);
+        assert_eq!(m.allocate(128, 2), MshrOutcome::Secondary);
+        assert!(m.pending(128));
+        let waiters = m.complete(128);
+        assert_eq!(waiters, vec![1, 2]);
+        assert!(!m.pending(128));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_limits_distinct_blocks_not_waiters() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.allocate(0, 1), MshrOutcome::Primary);
+        assert_eq!(m.allocate(128, 2), MshrOutcome::Primary);
+        assert_eq!(m.allocate(256, 3), MshrOutcome::Full);
+        // Same-block waiters still merge even when full.
+        assert_eq!(m.allocate(0, 4), MshrOutcome::Secondary);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn prefetch_allocation() {
+        let mut m = Mshr::new(2);
+        assert!(m.allocate_prefetch(0));
+        assert!(!m.allocate_prefetch(0)); // duplicate
+        // A demand miss on a prefetched block piggybacks.
+        assert_eq!(m.allocate(0, 9), MshrOutcome::Secondary);
+        assert_eq!(m.complete(0), vec![9]);
+    }
+
+    #[test]
+    fn complete_unknown_block_is_empty() {
+        let mut m = Mshr::new(2);
+        assert!(m.complete(512).is_empty());
+    }
+}

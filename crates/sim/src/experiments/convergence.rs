@@ -1,0 +1,115 @@
+//! Rate-matching convergence traces (§IV-F).
+//!
+//! The paper argues the DFS controller "needs to converge just once at the
+//! start of the application" — e.g. 5% steps, a 4× required change, and
+//! ~200 cycles of computation per DRAM row imply convergence in ~16,000
+//! cycles against billions of cycles of execution. This experiment records
+//! every applied clock adjustment and reports, per benchmark: how many
+//! adjustments fired, when the clock last moved, and how small a fraction
+//! of the run the convergence transient occupied.
+
+use crate::arch::Arch;
+use crate::config::SimConfig;
+use crate::report::{f0, f3, Table};
+use millipede_workloads::Benchmark;
+
+/// One benchmark's convergence summary.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Applied DFS adjustments over the run.
+    pub adjustments: usize,
+    /// Compute cycle of the last adjustment.
+    pub last_adjust_cycle: u64,
+    /// Total compute cycles of the run.
+    pub total_cycles: u64,
+    /// Final (converged) clock in MHz.
+    pub final_mhz: f64,
+    /// Lowest clock visited during the transient.
+    pub min_mhz: f64,
+}
+
+/// The convergence experiment results.
+#[derive(Debug, Clone)]
+pub struct Convergence {
+    /// One row per benchmark.
+    pub rows: Vec<Row>,
+}
+
+/// Runs every benchmark on full Millipede and summarizes its DFS trace.
+pub fn run(cfg: &SimConfig) -> Convergence {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let r = crate::runner::run_one(Arch::Millipede, bench, cfg);
+            let trace = &r.node.stats.rate_trace;
+            Row {
+                bench,
+                adjustments: trace.len(),
+                last_adjust_cycle: trace.last().map(|&(c, _)| c).unwrap_or(0),
+                total_cycles: r.node.stats.compute_cycles,
+                final_mhz: r.node.stats.rate_match_final_mhz,
+                min_mhz: trace
+                    .iter()
+                    .map(|&(_, m)| m)
+                    .fold(f64::INFINITY, f64::min)
+                    .min(r.node.stats.rate_match_final_mhz),
+            }
+        })
+        .collect();
+    Convergence { rows }
+}
+
+impl Convergence {
+    /// Renders the summary table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Benchmark",
+            "adjustments",
+            "last adjust (cycle)",
+            "total cycles",
+            "settle fraction",
+            "final MHz",
+            "min MHz",
+        ]);
+        for r in &self.rows {
+            let frac = if r.total_cycles == 0 {
+                0.0
+            } else {
+                r.last_adjust_cycle as f64 / r.total_cycles as f64
+            };
+            t.row(vec![
+                r.bench.name().to_string(),
+                r.adjustments.to_string(),
+                r.last_adjust_cycle.to_string(),
+                r.total_cycles.to_string(),
+                f3(frac),
+                f0(r.final_mhz),
+                f0(r.min_mhz),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernels_adjust_and_settle() {
+        let cfg = SimConfig {
+            num_chunks: 24,
+            ..Default::default()
+        };
+        let c = run(&cfg);
+        let count = &c.rows[0];
+        assert!(count.adjustments > 0, "count must rate-match");
+        assert!(count.final_mhz < 700.0);
+        // The compute-bound tail of the suite barely adjusts and ends at
+        // nominal.
+        let gda = c.rows.last().unwrap();
+        assert!(gda.final_mhz > 690.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The paper's evaluation (§VI), one module per table/figure.
+//!
+//! Each module exposes a `run(&SimConfig) -> …Result` that executes the
+//! needed simulations and a `render()` producing the table the paper
+//! prints. The bench harness (`millipede-bench`) and `EXPERIMENTS.md` are
+//! generated from these.
+
+pub mod ablations;
+pub mod convergence;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table2;
+pub mod table3;
+pub mod table4;

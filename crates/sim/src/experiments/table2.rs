@@ -1,0 +1,38 @@
+//! Table II — summary of application behaviour.
+
+use crate::report::Table;
+use millipede_workloads::meta::TABLE_II;
+
+/// Renders Table II from the workload metadata.
+pub fn render() -> String {
+    let mut t = Table::new(vec![
+        "Application",
+        "Input record",
+        "Per-node live state",
+        "Ops per byte",
+        "fields",
+        "float",
+    ]);
+    for m in &TABLE_II {
+        t.row(vec![
+            m.bench.name().to_string(),
+            m.input_record.to_string(),
+            m.live_state.to_string(),
+            m.ops_per_byte.to_string(),
+            m.num_fields.to_string(),
+            m.float.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_eight_rows() {
+        let s = super::render();
+        for name in ["count", "sample", "variance", "nbayes", "classify", "kmeans", "pca", "gda"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Run execution and parallel sweeps.
+
+use crate::arch::Arch;
+use crate::config::SimConfig;
+use millipede_core::NodeResult;
+use millipede_energy::EnergyBreakdown;
+use millipede_workloads::{Benchmark, Workload};
+
+/// One completed run: architecture, benchmark, timing, and energy.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The architecture that ran.
+    pub arch: Arch,
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Timing result and statistics.
+    pub node: NodeResult,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunResult {
+    /// Speedup of this run over `baseline` (same benchmark).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        self.node.speedup_over(&baseline.node)
+    }
+
+    /// Energy relative to `baseline` (same benchmark).
+    pub fn energy_vs(&self, baseline: &RunResult) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+}
+
+/// Runs `bench` on `arch`, attaching energy numbers.
+pub fn run_one(arch: Arch, bench: Benchmark, cfg: &SimConfig) -> RunResult {
+    let workload = Workload::build(bench, cfg.num_chunks, cfg.row_bytes, cfg.seed);
+    let node = arch.run(&workload, cfg);
+    assert!(
+        node.output_ok,
+        "{} produced an incorrect {} result",
+        arch.label(),
+        bench.name()
+    );
+    let (kind, lanes) = arch.energy_kind(cfg);
+    let energy = millipede_energy::compute(
+        kind,
+        lanes,
+        &node.stats,
+        &node.dram,
+        node.elapsed_ps,
+        &cfg.energy,
+    );
+    RunResult {
+        arch,
+        bench,
+        node,
+        energy,
+    }
+}
+
+/// Runs a set of (arch, bench) pairs in parallel threads, preserving input
+/// order in the output.
+pub fn run_many(pairs: &[(Arch, Benchmark)], cfg: &SimConfig) -> Vec<RunResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .iter()
+            .map(|&(arch, bench)| scope.spawn(move || run_one(arch, bench, cfg)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+    })
+}
+
+/// Runs every Fig. 3 architecture on every benchmark (the workhorse sweep
+/// shared by Figs. 3 and 4), returned as `[bench][arch]` following
+/// `Benchmark::ALL` × the given arch list order.
+pub fn sweep(archs: &[Arch], cfg: &SimConfig) -> Vec<Vec<RunResult>> {
+    let pairs: Vec<(Arch, Benchmark)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| archs.iter().map(move |&a| (a, b)))
+        .collect();
+    let flat = run_many(&pairs, cfg);
+    flat.chunks(archs.len()).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimConfig {
+        SimConfig {
+            num_chunks: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_one_attaches_energy() {
+        let r = run_one(Arch::Millipede, Benchmark::Count, &tiny());
+        assert!(r.energy.total_pj() > 0.0);
+        assert!(r.node.output_ok);
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let pairs = [
+            (Arch::Millipede, Benchmark::Count),
+            (Arch::Ssmc, Benchmark::Sample),
+        ];
+        let rs = run_many(&pairs, &tiny());
+        assert_eq!(rs[0].arch, Arch::Millipede);
+        assert_eq!(rs[0].bench, Benchmark::Count);
+        assert_eq!(rs[1].arch, Arch::Ssmc);
+        assert_eq!(rs[1].bench, Benchmark::Sample);
+    }
+
+    #[test]
+    fn speedup_and_energy_ratios() {
+        let cfg = tiny();
+        let m = run_one(Arch::Millipede, Benchmark::Count, &cfg);
+        let g = run_one(Arch::Gpgpu, Benchmark::Count, &cfg);
+        let s = m.speedup_over(&g);
+        assert!(s > 0.0);
+        assert!(m.energy_vs(&g) > 0.0);
+        assert!((g.speedup_over(&g) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,460 @@
+//! The plain SSMC baseline: a "sea of simple MIMD cores" *without*
+//! row-orientedness (§II, §V of the paper).
+//!
+//! SSMC matches Millipede in every well-known respect — 32 simple in-order
+//! cores, 4-way hardware multithreading, identical on-die memory capacity,
+//! 100%-accurate sequential prefetch of the input stream — but fetches and
+//! operates on *cache blocks* rather than whole DRAM rows. Each core
+//! prefetches its own slab stream into its private 5 KB L1 D-cache. Because
+//! the cores' MIMD execution lets them stray from each other (the
+//! per-record work is data-dependent), their block fetches interleave
+//! accesses to many different DRAM rows at the shared FR-FCFS controller,
+//! degrading row locality — the row-miss-rate column of Table IV and the
+//! SSMC bars of Figs. 3–4.
+//!
+//! Modeling notes (deviations documented in DESIGN.md):
+//!
+//! * The L1 line size is one slab (64 B) rather than Table III's 128 B; a
+//!   128 B line would straddle two cores' slabs and double-fetch every row,
+//!   a pathology the paper's SSMC clearly does not have.
+//! * Live state is held resident in the L1 (it fits: 4 contexts × ≤1 KB in
+//!   5 KB); only the input stream competes for the remaining capacity.
+
+#![warn(missing_docs)]
+
+use millipede_core::NodeResult;
+use millipede_dram::{MemoryController, Request, TimePs};
+use millipede_engine::step::effective_access;
+use millipede_engine::{
+    period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
+};
+use millipede_dram::{DramGeometry, DramTiming};
+use millipede_isa::AddrSpace;
+use millipede_mapreduce::ThreadGrid;
+use millipede_mem::{Cache, Mshr};
+use millipede_workloads::Workload;
+
+/// Configuration of one SSMC processor (Table III defaults).
+#[derive(Debug, Clone)]
+pub struct SsmcConfig {
+    /// Cores per processor (Table III: 32).
+    pub cores: usize,
+    /// Hardware thread contexts per core (Table III: 4).
+    pub contexts: usize,
+    /// Compute clock in MHz (Table III: 700).
+    pub compute_mhz: f64,
+    /// L1 D-cache per core in bytes (Table III: 5 KB).
+    pub l1_bytes: usize,
+    /// L1 line size in bytes (one slab; see module docs).
+    pub l1_block: u64,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// MSHR entries per core.
+    pub mshrs: usize,
+    /// Prefetch lookahead in rows (the next-slab stride prefetcher).
+    /// `None` (default) derives the lookahead from the L1's input share —
+    /// the stream runs as far ahead as the cache can hold, which is what a
+    /// 100%-accurate sequential prefetcher naturally does.
+    pub prefetch_degree: Option<u64>,
+    /// DRAM channel geometry.
+    pub geometry: DramGeometry,
+    /// DRAM channel timing.
+    pub timing: DramTiming,
+    /// FR-FCFS queue depth (Table III: 16).
+    pub dram_queue: usize,
+    /// Deadlock guard.
+    pub max_idle_cycles: u64,
+}
+
+impl Default for SsmcConfig {
+    fn default() -> Self {
+        SsmcConfig {
+            cores: 32,
+            contexts: 4,
+            compute_mhz: 700.0,
+            l1_bytes: 5 * 1024,
+            l1_block: 64,
+            l1_assoc: 4,
+            mshrs: 4,
+            prefetch_degree: None,
+            geometry: DramGeometry::default(),
+            timing: DramTiming::default(),
+            dram_queue: 16,
+            max_idle_cycles: 2_000_000,
+        }
+    }
+}
+
+/// Per-core next-slab stride prefetcher: the input stream of core *c* is
+/// its 64 B slab of every sequential row, so the stream stride is one row.
+#[derive(Debug, Clone)]
+struct SlabPrefetcher {
+    /// Next row index whose slab should be prefetched.
+    next_row: u64,
+    end_row: u64,
+    degree: u64,
+}
+
+impl SlabPrefetcher {
+    fn wanted(&mut self, demand_row: u64) -> Option<u64> {
+        if self.next_row < self.end_row && self.next_row <= demand_row + self.degree {
+            Some(self.next_row)
+        } else {
+            None
+        }
+    }
+
+    fn advance(&mut self) {
+        self.next_row += 1;
+    }
+}
+
+struct Core {
+    ctxs: Vec<ThreadCtx>,
+    done: Vec<bool>,
+    stalled: Vec<bool>,
+    rr: usize,
+    l1: Cache,
+    mshr: Mshr,
+    pf: SlabPrefetcher,
+    /// Highest row any of this core's contexts has demanded.
+    demand_row: u64,
+}
+
+/// Runs `workload` to completion on one SSMC processor.
+///
+/// # Panics
+///
+/// Panics if the live state cannot be L1-resident, a kernel traps, or the
+/// simulation deadlocks.
+pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
+    let layout = workload.dataset.layout;
+    let grid = ThreadGrid::slab(cfg.cores, cfg.contexts);
+    let live_total = workload.live_bytes * cfg.contexts;
+    assert!(
+        live_total + (cfg.l1_assoc as u64 * cfg.l1_block * 2) as usize <= cfg.l1_bytes,
+        "live state {live_total} B leaves no input room in the {} B L1",
+        cfg.l1_bytes
+    );
+    let row_bytes = layout.row_bytes;
+    let slab_bytes = grid.slab_bytes(&layout);
+    assert!(
+        slab_bytes == cfg.l1_block,
+        "this model fetches one slab per L1 line (slab {slab_bytes} B vs line {} B)",
+        cfg.l1_block
+    );
+    let total_rows = layout.total_rows();
+    let program = workload.program.clone();
+    let image = workload.dataset.image.clone();
+
+    // Input share of the L1: whatever the live state leaves, rounded down
+    // to whole sets.
+    let set_bytes = cfg.l1_assoc as u64 * cfg.l1_block;
+    let input_capacity = {
+        let free = (cfg.l1_bytes - live_total) as u64;
+        (free / set_bytes).max(2) * set_bytes
+    };
+    // Stream as far ahead as the input share of the L1 can hold (minus a
+    // safety margin so demand blocks are not evicted by their own
+    // prefetches).
+    let degree = cfg
+        .prefetch_degree
+        .unwrap_or((input_capacity / cfg.l1_block).saturating_sub(4).max(2));
+
+    let mut cores: Vec<Core> = (0..cfg.cores)
+        .map(|c| Core {
+            ctxs: (0..cfg.contexts)
+                .map(|x| workload.make_ctx(&grid, c, x))
+                .collect(),
+            done: vec![false; cfg.contexts],
+            stalled: vec![false; cfg.contexts],
+            rr: 0,
+            l1: Cache::new(input_capacity, cfg.l1_assoc, cfg.l1_block),
+            mshr: Mshr::new(cfg.mshrs),
+            pf: SlabPrefetcher {
+                next_row: 0,
+                end_row: total_rows,
+                degree,
+            },
+            demand_row: 0,
+        })
+        .collect();
+
+    let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
+    let mut clock = DualClock::new(
+        period_ps_for_mhz(cfg.compute_mhz),
+        cfg.timing.channel_period_ps,
+    );
+
+    let mut stats = CoreStats::default();
+    let total_threads = cfg.cores * cfg.contexts;
+    let mut halted = 0usize;
+    let mut cycle: u64 = 0;
+    let mut idle_streak: u64 = 0;
+    let mut last_time: TimePs = 0;
+
+    // Completion tags: core index (slab fills are per-core).
+    while halted < total_threads {
+        match clock.pop() {
+            Edge::Compute(now) => {
+                last_time = now;
+                cycle += 1;
+                let mut any_issued = false;
+                for c in 0..cfg.cores {
+                    stats.issue_slots += 1;
+                    if core_tick(
+                        c, now, cfg, &program, &image, row_bytes, slab_bytes, &mut cores,
+                        &mut mc, &mut stats, &mut halted,
+                    ) {
+                        any_issued = true;
+                    } else {
+                        stats.stall_slots += 1;
+                    }
+                }
+                idle_streak = if any_issued { 0 } else { idle_streak + 1 };
+                assert!(
+                    idle_streak <= cfg.max_idle_cycles,
+                    "SSMC deadlock: no issue for {idle_streak} cycles"
+                );
+            }
+            Edge::Channel(now) => {
+                last_time = now;
+                mc.tick(now);
+                for comp in mc.pop_completed(now) {
+                    let core = &mut cores[comp.tag as usize];
+                    let block = comp.addr;
+                    core.l1.fill(block);
+                    core.mshr.complete(block);
+                }
+            }
+        }
+    }
+
+    stats.compute_cycles = cycle;
+    let states: Vec<&[u32]> = cores
+        .iter()
+        .flat_map(|core| core.ctxs.iter().map(|c| c.local.words()))
+        .collect();
+    let output = workload.reduce(&states);
+    let output_ok = output == workload.reference(&grid);
+    for core in &cores {
+        stats.l1_hits += core.l1.stats().hits;
+        stats.l1_misses += core.l1.stats().misses;
+    }
+    NodeResult {
+        stats,
+        dram: mc.stats().clone(),
+        elapsed_ps: last_time,
+        output,
+        output_ok,
+    }
+}
+
+/// One issue attempt for core `c`; returns whether an instruction issued.
+#[allow(clippy::too_many_arguments)]
+fn core_tick(
+    c: usize,
+    now: TimePs,
+    cfg: &SsmcConfig,
+    program: &millipede_isa::Program,
+    image: &millipede_mem::InputImage,
+    row_bytes: u64,
+    slab_bytes: u64,
+    cores: &mut [Core],
+    mc: &mut MemoryController,
+    stats: &mut CoreStats,
+    halted: &mut usize,
+) -> bool {
+    // Keep the slab prefetcher running off the leading context's position.
+    pump_prefetch(c, now, row_bytes, slab_bytes, cores, mc, stats);
+
+    for k in 0..cfg.contexts {
+        let x = (cores[c].rr + k) % cfg.contexts;
+        if cores[c].done[x] {
+            continue;
+        }
+        let input_addr = match effective_access(&cores[c].ctxs[x], program) {
+            Some(ea) if ea.space == AddrSpace::Input => Some(ea.addr),
+            _ => None,
+        };
+        if let Some(addr) = input_addr {
+            let core = &mut cores[c];
+            core.demand_row = core.demand_row.max(addr / row_bytes);
+            if core.l1.access(addr) {
+                commit(c, x, cores, program, image, stats, halted);
+                cores[c].rr = (x + 1) % cfg.contexts;
+                return true;
+            }
+            // Miss: merge into an in-flight fill or start a demand fetch.
+            let block = addr & !(slab_bytes - 1);
+            if !core.mshr.pending(block) && !core.mshr.is_full() {
+                let req = Request {
+                    addr: block,
+                    bytes: slab_bytes,
+                    tag: c as u64,
+                };
+                if mc.try_push(req, now).is_ok() {
+                    core.mshr.allocate(block, x as u64);
+                    stats.demand_fetches += 1;
+                }
+            }
+            if !core.stalled[x] {
+                core.stalled[x] = true;
+                stats.demand_stalls += 1;
+            }
+            continue;
+        }
+        commit(c, x, cores, program, image, stats, halted);
+        cores[c].rr = (x + 1) % cfg.contexts;
+        return true;
+    }
+    false
+}
+
+/// Issues slab prefetches for core `c` up to its lookahead, as MSHR and
+/// DRAM-queue space allow.
+fn pump_prefetch(
+    c: usize,
+    now: TimePs,
+    row_bytes: u64,
+    slab_bytes: u64,
+    cores: &mut [Core],
+    mc: &mut MemoryController,
+    stats: &mut CoreStats,
+) {
+    let core = &mut cores[c];
+    let demand_row = core.demand_row;
+    while let Some(row) = core.pf.wanted(demand_row) {
+        let block = row * row_bytes + c as u64 * slab_bytes;
+        if core.l1.contains(block) || core.mshr.pending(block) {
+            core.pf.advance();
+            continue;
+        }
+        if core.mshr.is_full() || mc.free_slots() == 0 {
+            break;
+        }
+        let req = Request {
+            addr: block,
+            bytes: slab_bytes,
+            tag: c as u64,
+        };
+        if mc.try_push(req, now).is_err() {
+            break;
+        }
+        core.mshr.allocate_prefetch(block);
+        core.pf.advance();
+        stats.prefetches += 1;
+    }
+}
+
+fn commit(
+    c: usize,
+    x: usize,
+    cores: &mut [Core],
+    program: &millipede_isa::Program,
+    image: &millipede_mem::InputImage,
+    stats: &mut CoreStats,
+    halted: &mut usize,
+) {
+    let core = &mut cores[c];
+    core.stalled[x] = false;
+    let effect = step(&mut core.ctxs[x], program, image)
+        .unwrap_or_else(|trap| panic!("kernel trap on core {c} ctx {x}: {trap}"));
+    stats.instructions += 1;
+    stats.issues += 1;
+    match effect {
+        StepEffect::Branch { .. } => stats.branches += 1,
+        StepEffect::InputLoad { .. } => stats.input_loads += 1,
+        StepEffect::LocalLoad { .. } => stats.local_loads += 1,
+        StepEffect::LocalStore { .. } => stats.local_stores += 1,
+        StepEffect::Halt => {
+            core.done[x] = true;
+            *halted += 1;
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millipede_workloads::Benchmark;
+
+    fn small(bench: Benchmark) -> Workload {
+        Workload::build(bench, 2, 2048, 7)
+    }
+
+    #[test]
+    fn count_runs_and_validates() {
+        let r = run(&small(Benchmark::Count), &SsmcConfig::default());
+        assert!(r.output_ok);
+        assert!(r.elapsed_ps > 0);
+        assert!(r.stats.l1_hits > 0);
+    }
+
+    #[test]
+    fn nbayes_runs_and_validates() {
+        let r = run(&small(Benchmark::NBayes), &SsmcConfig::default());
+        assert!(r.output_ok);
+        // Every input byte is fetched exactly once (prefetch + demand,
+        // no duplication across cores thanks to slab-sized lines).
+        let w = small(Benchmark::NBayes);
+        assert_eq!(r.dram.bytes_transferred, w.dataset.total_bytes());
+    }
+
+    #[test]
+    fn gda_live_state_fits() {
+        let r = run(&small(Benchmark::Gda), &SsmcConfig::default());
+        assert!(r.output_ok);
+    }
+
+    #[test]
+    fn determinism() {
+        let w = small(Benchmark::Variance);
+        let a = run(&w, &SsmcConfig::default());
+        let b = run(&w, &SsmcConfig::default());
+        assert_eq!(a.elapsed_ps, b.elapsed_ps);
+        assert_eq!(a.dram.row_misses, b.dram.row_misses);
+    }
+
+    #[test]
+    fn sixty_four_cores_shrink_the_slab() {
+        let w = small(Benchmark::Count);
+        let c = SsmcConfig {
+            cores: 64,
+            l1_block: 2048 / 64,
+            ..SsmcConfig::default()
+        };
+        let r = run(&w, &c);
+        assert!(r.output_ok);
+        assert_eq!(r.dram.bytes_transferred, w.dataset.total_bytes());
+    }
+
+    #[test]
+    fn prefetches_cover_the_stream() {
+        let w = small(Benchmark::Count);
+        let r = run(&w, &SsmcConfig::default());
+        // Demand misses only happen when the prefetcher was beaten to a
+        // block; the stream itself is fully covered either way.
+        assert_eq!(
+            (r.stats.prefetches + r.stats.demand_fetches) * 64,
+            w.dataset.total_bytes()
+        );
+    }
+
+    #[test]
+    fn ssmc_degrades_row_locality_vs_millipede() {
+        // SSMC's interleaved block streams cause extra row activations
+        // compared to Millipede's one-activation-per-row floor.
+        let w = Workload::build(Benchmark::Count, 8, 2048, 11);
+        let r = run(&w, &SsmcConfig::default());
+        assert!(r.output_ok);
+        let rows = w.dataset.layout.total_rows();
+        assert!(
+            r.dram.activations > rows,
+            "expected straying to reactivate rows: {} activations for {} rows",
+            r.dram.activations,
+            rows
+        );
+    }
+}

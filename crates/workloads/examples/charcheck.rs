@@ -1,0 +1,26 @@
+use millipede_engine::run_functional;
+use millipede_mapreduce::ThreadGrid;
+use millipede_workloads::{Benchmark, Workload};
+
+fn main() {
+    let grid = ThreadGrid::slab(32, 4);
+    for b in Benchmark::ALL {
+        let w = Workload::build(b, 4, 2048, 99);
+        let mut stats = millipede_engine::FuncStats::default();
+        for c in 0..grid.corelets {
+            for x in 0..grid.contexts {
+                let mut ctx = w.make_ctx(&grid, c, x);
+                let s = run_functional(&mut ctx, &w.program, &w.dataset.image, u64::MAX).unwrap();
+                stats.merge(&s);
+            }
+        }
+        println!(
+            "{:10} insts/word {:6.1}  br/inst {:.3}  taken {:.2}  code {} insts",
+            b.name(),
+            stats.insts_per_input_word(),
+            stats.branches_per_inst(),
+            stats.taken_rate(),
+            w.program.len()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic data generation.
+//!
+//! A small SplitMix64 generator keeps datasets bit-reproducible across
+//! platforms and library versions — the golden tests and paper-figure
+//! regeneration depend on that. (The `rand` crate is still used elsewhere in
+//! the workspace; this module just avoids coupling dataset bits to its
+//! version.)
+
+/// SplitMix64 PRNG (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.unit_f32() * (hi - lo)
+    }
+
+    /// Bernoulli event with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(g.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn unit_f32_in_range_and_well_spread() {
+        let mut g = SplitMix64::new(7);
+        let mut lo = 0usize;
+        for _ in 0..1000 {
+            let v = g.unit_f32();
+            assert!((0.0..1.0).contains(&v));
+            if v < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((300..700).contains(&lo), "poorly spread: {lo}/1000 below 0.5");
+    }
+
+    #[test]
+    fn range_f32_in_range() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..100 {
+            let v = g.range_f32(-5.0, 5.0);
+            assert!((-5.0..5.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Shared kernel-emission helpers and the kernel register plan.
+//!
+//! All eight kernels follow the same field-major chunk walk so their input
+//! access pattern is exactly the sequential row stream the interleaved
+//! layout produces:
+//!
+//! ```text
+//! for chunk in 0..num_chunks:
+//!     for field in 0..num_fields:          # one DRAM row per field
+//!         for slot in 0..records_per_thread_per_chunk:
+//!             <body: consume this thread's word of the row>
+//!     <finalize: per-chunk pass over the slots' partial state>
+//! ```
+//!
+//! Row-density (§III) holds by construction: every word of every row is
+//! loaded exactly once by its owning thread, and branches only affect the
+//! computation, never which input words are read.
+//!
+//! Register plan (kernels and helpers must agree):
+//!
+//! | Registers | Use |
+//! |-----------|-----|
+//! | `r1`–`r6` | launch ABI (see `millipede-mapreduce::grid`) |
+//! | `r7`      | `num_fields * 4` (emitted by the helper preamble) |
+//! | `r8`, `r9`| kernel constants (preamble) |
+//! | `r10`–`r25` | kernel temporaries |
+//! | `r26`     | current field index × 4 |
+//! | `r27`     | lane base address of the current field's row |
+//! | `r28`     | chunk counter |
+//! | `r29`     | chunk base address |
+//! | `r30`     | slot counter (also reusable inside `finalize`) |
+//! | `r31`     | current input word address |
+
+use millipede_isa::reg::{r, Reg};
+
+/// A boxed one-shot emitter, used for the optional special first-field
+/// pass of [`emit_multi_field_kernel`].
+pub type FieldEmitter = Box<dyn FnOnce(&mut ProgramBuilder)>;
+use millipede_isa::{AluOp, CmpOp, Program, ProgramBuilder};
+use millipede_mapreduce::{
+    ABI_CHUNKS, ABI_CHUNK_STRIDE, ABI_LANE_OFFSET, ABI_REC_STRIDE, ABI_RPTC,
+    ABI_FIELD_STRIDE,
+};
+
+/// Kernel constant: `num_fields * 4` (loaded by the helper preamble).
+pub const R_FIELDS_X4: Reg = r(7);
+/// First free kernel-constant register.
+pub const R_CONST8: Reg = r(8);
+/// Second free kernel-constant register.
+pub const R_CONST9: Reg = r(9);
+/// Current field index × 4.
+pub const R_FIELD: Reg = r(26);
+/// Lane base address of the current field's row.
+pub const R_ROWBASE: Reg = r(27);
+/// Chunk counter.
+pub const R_CHUNK: Reg = r(28);
+/// Chunk base address.
+pub const R_CHUNKBASE: Reg = r(29);
+/// Slot (record-within-chunk) counter.
+pub const R_SLOT: Reg = r(30);
+/// Current input word address.
+pub const R_ADDR: Reg = r(31);
+
+/// Maximum records-per-thread-per-chunk the kernels' live-state layouts
+/// support (slot-indexed scratch is sized for this).
+pub const MAX_RPTC: usize = 4;
+
+/// Emits `dst = src` (ALU add with the zero register).
+pub fn mv(b: &mut ProgramBuilder, dst: Reg, src: Reg) {
+    b.alu(AluOp::Add, dst, src, Reg::ZERO);
+}
+
+/// Emits a single-field (F = 1) record-loop kernel.
+///
+/// `preamble` runs once; `body` runs per record with the record's word
+/// address in [`R_ADDR`] and the slot index in [`R_SLOT`].
+pub fn emit_single_field_kernel(
+    name: &str,
+    preamble: impl FnOnce(&mut ProgramBuilder),
+    body: impl FnOnce(&mut ProgramBuilder),
+) -> Program {
+    emit_single_field_kernel_sync(name, preamble, body, false)
+}
+
+/// Like [`emit_single_field_kernel`] with an optional processor-wide
+/// barrier after every record — the software-barrier alternative to
+/// hardware flow control that §IV-C of the paper evaluates ("placing
+/// software barriers at record granularity within MapReduce").
+pub fn emit_single_field_kernel_sync(
+    name: &str,
+    preamble: impl FnOnce(&mut ProgramBuilder),
+    body: impl FnOnce(&mut ProgramBuilder),
+    barrier_per_record: bool,
+) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    preamble(&mut b);
+    b.li(R_CHUNK, 0);
+    b.li(R_CHUNKBASE, 0);
+    let chunk_loop = b.label();
+    b.bind(chunk_loop);
+    b.alu(AluOp::Add, R_ADDR, R_CHUNKBASE, ABI_LANE_OFFSET);
+    b.li(R_SLOT, 0);
+    let slot_loop = b.label();
+    b.bind(slot_loop);
+    body(&mut b);
+    if barrier_per_record {
+        b.bar();
+    }
+    b.alu(AluOp::Add, R_ADDR, R_ADDR, ABI_REC_STRIDE);
+    b.alui(AluOp::Add, R_SLOT, R_SLOT, 1);
+    b.br(CmpOp::Lt, R_SLOT, ABI_RPTC, slot_loop);
+    b.alu(AluOp::Add, R_CHUNKBASE, R_CHUNKBASE, ABI_CHUNK_STRIDE);
+    b.alui(AluOp::Add, R_CHUNK, R_CHUNK, 1);
+    b.br(CmpOp::Lt, R_CHUNK, ABI_CHUNKS, chunk_loop);
+    b.halt();
+    b.build().expect("kernel builds")
+}
+
+/// Emits a multi-field, field-major kernel.
+///
+/// * `num_fields` — record arity (F); the helper loads `F*4` into
+///   [`R_FIELDS_X4`].
+/// * `preamble` — runs once (kernel constants).
+/// * `first_field` — optional special pass over field 0 (e.g. nbayes' year /
+///   gda's class label); when present the generic `body` covers fields
+///   `1..F`, otherwise `0..F`.
+/// * `body` — per (field, slot): word address in [`R_ADDR`], field×4 in
+///   [`R_FIELD`], slot in [`R_SLOT`].
+/// * `finalize` — per chunk, after all fields; may reuse `r10`–`r27`,
+///   [`R_SLOT`], [`R_ADDR`] but must preserve [`R_CHUNK`]/[`R_CHUNKBASE`].
+pub fn emit_multi_field_kernel(
+    name: &str,
+    num_fields: usize,
+    preamble: impl FnOnce(&mut ProgramBuilder),
+    first_field: Option<FieldEmitter>,
+    body: impl FnOnce(&mut ProgramBuilder),
+    finalize: impl FnOnce(&mut ProgramBuilder),
+) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    b.li(R_FIELDS_X4, (num_fields * 4) as u32);
+    preamble(&mut b);
+    b.li(R_CHUNK, 0);
+    b.li(R_CHUNKBASE, 0);
+    let chunk_loop = b.label();
+    b.bind(chunk_loop);
+    b.alu(AluOp::Add, R_ROWBASE, R_CHUNKBASE, ABI_LANE_OFFSET);
+    b.li(R_FIELD, 0);
+    if let Some(first) = first_field {
+        mv(&mut b, R_ADDR, R_ROWBASE);
+        b.li(R_SLOT, 0);
+        let s0 = b.label();
+        b.bind(s0);
+        first(&mut b);
+        b.alu(AluOp::Add, R_ADDR, R_ADDR, ABI_REC_STRIDE);
+        b.alui(AluOp::Add, R_SLOT, R_SLOT, 1);
+        b.br(CmpOp::Lt, R_SLOT, ABI_RPTC, s0);
+        b.alu(AluOp::Add, R_ROWBASE, R_ROWBASE, ABI_FIELD_STRIDE);
+        b.li(R_FIELD, 4);
+    }
+    let field_loop = b.label();
+    b.bind(field_loop);
+    mv(&mut b, R_ADDR, R_ROWBASE);
+    b.li(R_SLOT, 0);
+    let slot_loop = b.label();
+    b.bind(slot_loop);
+    body(&mut b);
+    b.alu(AluOp::Add, R_ADDR, R_ADDR, ABI_REC_STRIDE);
+    b.alui(AluOp::Add, R_SLOT, R_SLOT, 1);
+    b.br(CmpOp::Lt, R_SLOT, ABI_RPTC, slot_loop);
+    b.alu(AluOp::Add, R_ROWBASE, R_ROWBASE, ABI_FIELD_STRIDE);
+    b.alui(AluOp::Add, R_FIELD, R_FIELD, 4);
+    b.br(CmpOp::Lt, R_FIELD, R_FIELDS_X4, field_loop);
+    finalize(&mut b);
+    b.alu(AluOp::Add, R_CHUNKBASE, R_CHUNKBASE, ABI_CHUNK_STRIDE);
+    b.alui(AluOp::Add, R_CHUNK, R_CHUNK, 1);
+    b.br(CmpOp::Lt, R_CHUNK, ABI_CHUNKS, chunk_loop);
+    b.halt();
+    b.build().expect("kernel builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millipede_engine::{run_functional, ThreadCtx};
+    use millipede_isa::AddrSpace;
+    use millipede_mapreduce::{Dataset, InterleavedLayout, ThreadGrid};
+
+    /// A sum-all-words kernel exercises the skeleton's traversal: every
+    /// thread's local word 0 ends with the sum of its assigned records.
+    fn sum_kernel_single() -> Program {
+        emit_single_field_kernel(
+            "sumtest",
+            |_| {},
+            |b| {
+                b.ld(r(10), R_ADDR, 0, AddrSpace::Input);
+                b.ld(r(11), Reg::ZERO, 0, AddrSpace::Local);
+                b.alu(AluOp::Add, r(11), r(11), r(10));
+                b.st_local(r(11), Reg::ZERO, 0);
+            },
+        )
+    }
+
+    #[test]
+    fn single_field_skeleton_visits_every_assigned_record() {
+        let layout = InterleavedLayout::new(1, 256, 3); // 64 records/chunk
+        let grid = ThreadGrid::slab(8, 4);
+        let ds = Dataset::generate(layout, |i| vec![i as u32]);
+        let program = sum_kernel_single();
+        for c in 0..grid.corelets {
+            for x in 0..grid.contexts {
+                let params = grid.launch_params(&layout, c, x);
+                let mut ctx = ThreadCtx::new(64, &params);
+                run_functional(&mut ctx, &program, &ds.image, 1_000_000).unwrap();
+                let expect: u32 = grid
+                    .records_of_thread(&layout, c, x)
+                    .into_iter()
+                    .map(|rec| rec as u32)
+                    .sum();
+                assert_eq!(ctx.local.words()[0], expect, "thread ({c},{x})");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_field_skeleton_visits_fields_row_major() {
+        // Kernel sums field f of all records into local word f.
+        let fields = 3;
+        let program = emit_multi_field_kernel(
+            "mftest",
+            fields,
+            |_| {},
+            None,
+            |b| {
+                b.ld(r(10), R_ADDR, 0, AddrSpace::Input);
+                b.ld(r(11), R_FIELD, 0, AddrSpace::Local);
+                b.alu(AluOp::Add, r(11), r(11), r(10));
+                b.st_local(r(11), R_FIELD, 0);
+            },
+            |_| {},
+        );
+        let layout = InterleavedLayout::new(fields, 256, 2);
+        let grid = ThreadGrid::slab(8, 4);
+        let ds = Dataset::generate(layout, |i| {
+            (0..fields).map(|f| (100 * f + i) as u32).collect()
+        });
+        let params = grid.launch_params(&layout, 3, 2);
+        let mut ctx = ThreadCtx::new(64, &params);
+        run_functional(&mut ctx, &program, &ds.image, 1_000_000).unwrap();
+        for f in 0..fields {
+            let expect: u32 = grid
+                .records_of_thread(&layout, 3, 2)
+                .into_iter()
+                .map(|rec| ds.records[rec][f])
+                .sum();
+            assert_eq!(ctx.local.words()[f], expect, "field {f}");
+        }
+    }
+
+    #[test]
+    fn first_field_pass_sees_field_zero_and_body_sees_rest() {
+        // first_field stores field0 values' sum at word 0; body sums the
+        // remaining fields at word 1.
+        let program = emit_multi_field_kernel(
+            "fftest",
+            2,
+            |_| {},
+            Some(Box::new(|b: &mut ProgramBuilder| {
+                b.ld(r(10), R_ADDR, 0, AddrSpace::Input);
+                b.ld(r(11), Reg::ZERO, 0, AddrSpace::Local);
+                b.alu(AluOp::Add, r(11), r(11), r(10));
+                b.st_local(r(11), Reg::ZERO, 0);
+            })),
+            |b| {
+                b.ld(r(10), R_ADDR, 0, AddrSpace::Input);
+                b.ld(r(11), Reg::ZERO, 4, AddrSpace::Local);
+                b.alu(AluOp::Add, r(11), r(11), r(10));
+                b.st_local(r(11), Reg::ZERO, 4);
+            },
+            |_| {},
+        );
+        let layout = InterleavedLayout::new(2, 64, 1); // 16 records
+        let grid = ThreadGrid::slab(4, 2);
+        let ds = Dataset::generate(layout, |i| vec![i as u32, 1000 + i as u32]);
+        let params = grid.launch_params(&layout, 1, 0);
+        let mut ctx = ThreadCtx::new(64, &params);
+        run_functional(&mut ctx, &program, &ds.image, 100_000).unwrap();
+        let recs = grid.records_of_thread(&layout, 1, 0);
+        let f0: u32 = recs.iter().map(|&rec| ds.records[rec][0]).sum();
+        let f1: u32 = recs.iter().map(|&rec| ds.records[rec][1]).sum();
+        assert_eq!(ctx.local.words()[0], f0);
+        assert_eq!(ctx.local.words()[1], f1);
+    }
+
+    #[test]
+    fn finalize_runs_once_per_chunk() {
+        let program = emit_multi_field_kernel(
+            "fin",
+            1,
+            |_| {},
+            None,
+            |b| {
+                b.ld(r(10), R_ADDR, 0, AddrSpace::Input);
+            },
+            |b| {
+                b.ld(r(11), Reg::ZERO, 0, AddrSpace::Local);
+                b.alui(AluOp::Add, r(11), r(11), 1);
+                b.st_local(r(11), Reg::ZERO, 0);
+            },
+        );
+        let layout = InterleavedLayout::new(1, 64, 5);
+        let grid = ThreadGrid::slab(4, 2);
+        let ds = Dataset::generate(layout, |_| vec![0]);
+        let params = grid.launch_params(&layout, 0, 0);
+        let mut ctx = ThreadCtx::new(64, &params);
+        run_functional(&mut ctx, &program, &ds.image, 100_000).unwrap();
+        assert_eq!(ctx.local.words()[0], 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! A market-segmentation-style k-means run (the paper's motivating
+//! "unsupervised clustering via kmeans" full application, §III-C), executed
+//! on all four PNM architectures to show what each costs.
+//!
+//! ```text
+//! cargo run --release --example kmeans_clustering
+//! ```
+
+use millipede::sim::{Arch, SimConfig};
+use millipede::workloads::kmeans::new_centroids;
+use millipede::workloads::Benchmark;
+
+fn main() {
+    let cfg = SimConfig {
+        num_chunks: 24,
+        ..Default::default()
+    };
+    println!(
+        "k-means over {} 8-dimensional points on one PNM processor\n",
+        cfg.records()
+    );
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "architecture", "time (µs)", "GB/s", "energy (µJ)", "row misses"
+    );
+    let mut final_output = None;
+    for arch in [Arch::Gpgpu, Arch::Vws, Arch::Ssmc, Arch::Millipede] {
+        let r = millipede::sim::run_one(arch, Benchmark::Kmeans, &cfg);
+        println!(
+            "{:<28} {:>10.1} {:>10.2} {:>12.1} {:>12}",
+            arch.label(),
+            r.node.runtime_us(),
+            r.node.dram_bandwidth_gbps(),
+            r.energy.total_uj(),
+            r.node.dram.row_misses,
+        );
+        final_output = Some(r.node.output);
+    }
+
+    // Every architecture computes bit-identical results; post-process the
+    // last one into the new centroids (the host-side final Reduce).
+    let output = final_output.expect("at least one run");
+    println!("\nnew centroids after one k-means iteration:");
+    for (c, centroid) in new_centroids(&output).iter().enumerate() {
+        let coords: Vec<String> = centroid.iter().map(|v| format!("{v:6.2}")).collect();
+        println!("  cluster {c}: [{}]", coords.join(", "));
+    }
+}

@@ -1,0 +1,146 @@
+//! Command-line front end: simulate any benchmark on any architecture.
+//!
+//! ```text
+//! millipede-cli <benchmark> <architecture> [--chunks N] [--seed S]
+//!               [--corelets N] [--pbuf N] [--csv]
+//! millipede-cli list
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! millipede-cli nbayes millipede --chunks 64
+//! millipede-cli kmeans ssmc --csv
+//! ```
+
+use millipede::sim::{run_one, Arch, SimConfig};
+use millipede::workloads::Benchmark;
+
+const ARCHS: [(&str, Arch); 8] = [
+    ("gpgpu", Arch::Gpgpu),
+    ("vws", Arch::Vws),
+    ("ssmc", Arch::Ssmc),
+    ("millipede", Arch::Millipede),
+    ("millipede-no-flow-control", Arch::MillipedeNoFlowControl),
+    ("millipede-no-rate-match", Arch::MillipedeNoRateMatch),
+    ("vws-row", Arch::VwsRow),
+    ("multicore", Arch::Multicore),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: millipede-cli <benchmark> <architecture> [--chunks N] [--seed S] \
+         [--corelets N] [--pbuf N] [--csv]\n       millipede-cli list"
+    );
+    std::process::exit(2);
+}
+
+fn list() {
+    println!("benchmarks:");
+    for b in Benchmark::ALL {
+        println!("  {}", b.name());
+    }
+    println!("architectures:");
+    for (name, _) in ARCHS {
+        println!("  {name}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("list") {
+        list();
+        return;
+    }
+    if args.len() < 2 {
+        usage();
+    }
+    let bench = Benchmark::from_name(&args[0]).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{}` (try `millipede-cli list`)", args[0]);
+        std::process::exit(2);
+    });
+    let arch = ARCHS
+        .iter()
+        .find(|(name, _)| *name == args[1])
+        .map(|&(_, a)| a)
+        .unwrap_or_else(|| {
+            eprintln!("unknown architecture `{}` (try `millipede-cli list`)", args[1]);
+            std::process::exit(2);
+        });
+
+    let mut cfg = SimConfig::default();
+    let mut csv = false;
+    let mut i = 2;
+    while i < args.len() {
+        let take = |i: &mut usize, what: &str| -> u64 {
+            *i += 1;
+            args.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{what} needs a positive integer");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--chunks" => cfg.num_chunks = take(&mut i, "--chunks") as usize,
+            "--seed" => cfg.seed = take(&mut i, "--seed"),
+            "--corelets" => cfg.corelets = take(&mut i, "--corelets") as usize,
+            "--pbuf" => cfg.pbuf_entries = take(&mut i, "--pbuf") as usize,
+            "--csv" => csv = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let r = run_one(arch, bench, &cfg);
+    if csv {
+        println!(
+            "bench,arch,chunks,seed,elapsed_us,instructions,ipc,dram_gbps,row_miss_rate,\
+             activations,energy_uj,core_uj,dram_uj,static_uj,rate_clock_mhz,output_ok"
+        );
+        println!(
+            "{},{},{},{},{:.3},{},{:.3},{:.3},{:.4},{},{:.3},{:.3},{:.3},{:.3},{:.0},{}",
+            bench.name(),
+            r.arch.label(),
+            cfg.num_chunks,
+            cfg.seed,
+            r.node.runtime_us(),
+            r.node.stats.instructions,
+            r.node.stats.utilization(),
+            r.node.dram_bandwidth_gbps(),
+            r.node.dram.row_miss_rate(),
+            r.node.dram.activations,
+            r.energy.total_uj(),
+            r.energy.core_pj / 1e6,
+            r.energy.dram_pj / 1e6,
+            r.energy.static_pj / 1e6,
+            r.node.stats.rate_match_final_mhz,
+            r.node.output_ok,
+        );
+        return;
+    }
+    println!("{} on {} ({} chunks, seed {})", bench.name(), r.arch.label(), cfg.num_chunks, cfg.seed);
+    println!("  simulated time   : {:>10.1} µs", r.node.runtime_us());
+    println!("  instructions     : {:>10}", r.node.stats.instructions);
+    println!("  issue utilization: {:>10.2}", r.node.stats.utilization());
+    println!("  DRAM bandwidth   : {:>10.2} GB/s", r.node.dram_bandwidth_gbps());
+    println!("  row miss rate    : {:>10.3}", r.node.dram.row_miss_rate());
+    println!("  activations      : {:>10}", r.node.dram.activations);
+    println!(
+        "  energy           : {:>10.2} µJ  (core {:.2} + dram {:.2} + static {:.2})",
+        r.energy.total_uj(),
+        r.energy.core_pj / 1e6,
+        r.energy.dram_pj / 1e6,
+        r.energy.static_pj / 1e6,
+    );
+    if r.node.stats.rate_match_final_mhz > 0.0 {
+        println!(
+            "  rate-match clock : {:>10.0} MHz",
+            r.node.stats.rate_match_final_mhz
+        );
+    }
+    println!("  output validated : {:>10}", r.node.output_ok);
+}

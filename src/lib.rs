@@ -1,0 +1,19 @@
+//! Millipede: a reproduction of the die-stacked processing-near-memory (PNM)
+//! architecture from *"Millipede: Die-Stacked Memory Optimizations for Big
+//! Data Machine Learning Analytics"* (IPDPS 2018).
+//!
+//! This facade crate re-exports the workspace's public API. See the README
+//! for a tour and `DESIGN.md` for the system inventory.
+
+pub use millipede_core as core_arch;
+pub use millipede_dram as dram;
+pub use millipede_energy as energy;
+pub use millipede_engine as engine;
+pub use millipede_gpgpu as gpgpu;
+pub use millipede_isa as isa;
+pub use millipede_mapreduce as mapreduce;
+pub use millipede_mem as mem;
+pub use millipede_multicore as multicore;
+pub use millipede_sim as sim;
+pub use millipede_ssmc as ssmc;
+pub use millipede_workloads as workloads;

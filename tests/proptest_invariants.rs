@@ -1,0 +1,286 @@
+//! Property-based tests over the core data structures' invariants.
+
+use millipede::core_arch::pbuf::{ConsumeOutcome, Lookup, RowPrefetchBuffer};
+use millipede::dram::{DramGeometry, DramTiming, MemoryController, Request};
+use millipede::isa::reg::r;
+use millipede::isa::{assemble, disassemble, AluOp, CmpOp, Instr, Program};
+use millipede::mapreduce::{InterleavedLayout, ThreadGrid};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Interleaved layout: the address map is a bijection.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn layout_addresses_are_unique_and_in_bounds(
+        fields in 1usize..8,
+        chunks in 1usize..4,
+        row_words_log2 in 4u32..8,
+    ) {
+        let row_bytes = 4u64 << row_words_log2;
+        let layout = InterleavedLayout::new(fields, row_bytes, chunks);
+        let mut seen = std::collections::HashSet::new();
+        for rec in 0..layout.num_records() {
+            for f in 0..fields {
+                let a = layout.addr_of(rec, f);
+                prop_assert!(a.is_multiple_of(4));
+                prop_assert!(a + 4 <= layout.total_bytes());
+                prop_assert!(seen.insert(a), "duplicate address {a}");
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, layout.total_bytes() / 4);
+    }
+
+    #[test]
+    fn same_field_of_chunk_neighbours_shares_a_row(
+        fields in 1usize..8,
+        chunks in 1usize..4,
+    ) {
+        let layout = InterleavedLayout::new(fields, 2048, chunks);
+        for chunk in 0..chunks {
+            let base = chunk * layout.row_words();
+            for f in 0..fields {
+                let row = layout.addr_of(base, f) / 2048;
+                for rec in base..base + layout.row_words() {
+                    prop_assert_eq!(layout.addr_of(rec, f) / 2048, row);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread grid: both assignment modes partition the records exactly once
+// with the same per-thread record counts.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn grids_partition_records(
+        corelets_log2 in 2u32..7,
+        contexts_log2 in 0u32..3,
+        fields in 1usize..4,
+        chunks in 1usize..3,
+    ) {
+        let corelets = 1usize << corelets_log2;
+        let contexts = 1usize << contexts_log2;
+        let layout = InterleavedLayout::new(fields, 2048, chunks);
+        prop_assume!(layout.row_words().is_multiple_of(corelets * contexts));
+        for grid in [ThreadGrid::slab(corelets, contexts), ThreadGrid::coalesced(corelets, contexts)] {
+            let mut seen = vec![0u8; layout.num_records()];
+            let per_thread = layout.num_records() / grid.num_threads();
+            for c in 0..corelets {
+                for x in 0..contexts {
+                    let recs = grid.records_of_thread(&layout, c, x);
+                    prop_assert_eq!(recs.len(), per_thread);
+                    for rec in recs {
+                        seen[rec] += 1;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&n| n == 1));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Row prefetch buffer: under arbitrary interleavings of per-group
+// consumption, flow control never evicts prematurely, never deadlocks, and
+// prefetches every row exactly once.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn flow_control_liveness_and_safety(
+        capacity in 2usize..6,
+        groups in 1usize..4,
+        words in 1u32..4,
+        rows in 1u64..20,
+        schedule in proptest::collection::vec(0usize..4, 1..256),
+    ) {
+        let mut buf = RowPrefetchBuffer::new(capacity, groups, words, rows, true);
+        // Per-group cursor: (row, words consumed of that row).
+        let mut cursor = vec![(0u64, 0u32); groups];
+        let mut sched = schedule.into_iter().cycle();
+        let mut steps = 0u64;
+        let budget = 40_000u64;
+        while cursor.iter().any(|&(row, _)| row < rows) {
+            steps += 1;
+            prop_assert!(steps < budget, "livelock: cursors {cursor:?}");
+            // Fill pending fetches promptly (memory is instant here).
+            for (slot, _row) in buf.take_fetches(usize::MAX) {
+                buf.fill_complete(slot);
+            }
+            // Schedule-biased pick, but — like the processor's per-cycle
+            // round-robin — every stalled group eventually yields to one
+            // that can progress.
+            let busy: Vec<usize> = (0..groups)
+                .filter(|&g| cursor[g].0 < rows)
+                .collect();
+            let offset = sched.next().unwrap();
+            let mut progressed = false;
+            for k in 0..busy.len() {
+                let g = busy[(offset + k) % busy.len()];
+                let (row, used) = cursor[g];
+                match buf.lookup(row) {
+                    Lookup::Ready { slot } => {
+                        let out: ConsumeOutcome = buf.consume(slot, g);
+                        let _ = out;
+                        let used = used + 1;
+                        cursor[g] = if used == words { (row + 1, 0) } else { (row, used) };
+                        progressed = true;
+                        break;
+                    }
+                    Lookup::Filling | Lookup::Future => {} // stall, try next group
+                    Lookup::Evicted => prop_assert!(false, "premature eviction under flow control"),
+                }
+            }
+            if !progressed {
+                // No group could consume: fills must be in flight, or the
+                // buffer has deadlocked.
+                let pending = buf.take_fetches(usize::MAX);
+                prop_assert!(
+                    !pending.is_empty(),
+                    "deadlock: nothing consumable and nothing in flight ({cursor:?})"
+                );
+                for (slot, _row) in pending {
+                    buf.fill_complete(slot);
+                }
+            }
+        }
+        prop_assert_eq!(buf.stats().prefetches, rows);
+        prop_assert_eq!(buf.stats().premature_evictions, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Assembler: builder-generated programs survive a disassemble/assemble
+// round trip bit-for-bit.
+// ---------------------------------------------------------------------
+
+fn arb_instr(len: u32) -> impl Strategy<Value = Instr> {
+    let reg = (0u8..32).prop_map(r);
+    prop_oneof![
+        (proptest::sample::select(AluOp::ALL.to_vec()), reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
+        (proptest::sample::select(AluOp::ALL.to_vec()), reg.clone(), reg.clone(), any::<i16>())
+            .prop_map(|(op, dst, a, imm)| Instr::AluI { op, dst, a, imm: imm as i32 }),
+        (reg.clone(), any::<u32>()).prop_map(|(dst, imm)| Instr::Li { dst, imm }),
+        (reg.clone(), reg.clone(), -64i32..64)
+            .prop_map(|(dst, addr, offset)| Instr::Ld {
+                dst,
+                addr,
+                offset: offset * 4,
+                space: millipede::isa::AddrSpace::Local,
+            }),
+        (reg.clone(), reg.clone(), -64i32..64)
+            .prop_map(|(src, addr, offset)| Instr::St { src, addr, offset: offset * 4 }),
+        (
+            proptest::sample::select(CmpOp::ALL.to_vec()),
+            reg.clone(),
+            reg,
+            0..len,
+        )
+            .prop_map(|(cmp, a, b, target)| Instr::Br { cmp, a, b, target }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn disassembly_round_trips(
+        body in proptest::collection::vec(arb_instr(16), 1..15)
+    ) {
+        // Clamp branch targets into range and terminate with halt.
+        let mut instrs = body;
+        let len = (instrs.len() + 1) as u32;
+        for i in &mut instrs {
+            if let Instr::Br { target, .. } = i {
+                *target %= len;
+            }
+        }
+        instrs.push(Instr::Halt);
+        let p = Program::new("prop", instrs).unwrap();
+        let text = disassemble(&p);
+        let q = assemble("prop", &text).unwrap();
+        prop_assert_eq!(p.instrs(), q.instrs());
+    }
+}
+
+// ---------------------------------------------------------------------
+// FR-FCFS controller: every accepted request completes exactly once, bytes
+// are conserved, and hits + misses == requests.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn controller_conserves_requests(
+        reqs in proptest::collection::vec((0u64..64, 1u64..5), 1..40)
+    ) {
+        let geometry = DramGeometry::default();
+        let timing = DramTiming::default();
+        let mut mc = MemoryController::new(geometry, timing);
+        let mut now = 0u64;
+        let mut pending: Vec<Request> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(row, quarters))| Request {
+                addr: row * geometry.row_bytes,
+                bytes: quarters * 512,
+                tag: i as u64,
+            })
+            .collect();
+        pending.reverse();
+        let mut done = Vec::new();
+        let total = pending.len();
+        let mut guard = 0;
+        while done.len() < total {
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "controller stalled");
+            if let Some(req) = pending.last().copied() {
+                if mc.try_push(req, now).is_ok() {
+                    pending.pop();
+                }
+            }
+            mc.tick(now);
+            now += timing.channel_period_ps;
+            done.extend(mc.pop_completed(now));
+        }
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..total as u64).collect::<Vec<_>>());
+        let s = mc.stats();
+        prop_assert_eq!(s.requests, total as u64);
+        prop_assert_eq!(s.row_hits + s.row_misses, s.requests);
+        let bytes: u64 = reqs.iter().map(|&(_, q)| q * 512).sum();
+        prop_assert_eq!(s.bytes_transferred, bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ALU semantics: total (never panic) and consistent with Rust reference
+// semantics where defined.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn alu_total_and_consistent(a in any::<u32>(), b in any::<u32>()) {
+        use millipede::engine::alu::eval_alu;
+        for op in AluOp::ALL {
+            let v = eval_alu(op, a, b); // must not panic
+            match op {
+                AluOp::Add => prop_assert_eq!(v, a.wrapping_add(b)),
+                AluOp::Xor => prop_assert_eq!(v, a ^ b),
+                AluOp::Slt => prop_assert_eq!(v, ((a as i32) < (b as i32)) as u32),
+                AluOp::Sltu => prop_assert_eq!(v, (a < b) as u32),
+                _ => {}
+            }
+        }
+        // Branch comparisons are coherent: Lt and Ge partition (ints).
+        prop_assert_ne!(CmpOp::Lt.eval(a, b), CmpOp::Ge.eval(a, b));
+        prop_assert_ne!(CmpOp::Ltu.eval(a, b), CmpOp::Geu.eval(a, b));
+        prop_assert_ne!(CmpOp::Eq.eval(a, b), CmpOp::Ne.eval(a, b));
+    }
+}
