@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: formatting, the repo-specific lint pass, a release
+# build, and the full test suite (which includes the invariant-sanitizer and
+# determinism gates in tests/audit.rs).
+#
+# Every cargo invocation passes --offline: the workspace has no external
+# dependencies by design (see Cargo.toml), so CI must never need a registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> millipede-audit (repo lint pass)"
+cargo run --offline -q -p millipede-audit
+
+echo "==> cargo clippy (workspace lints)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "CI green."

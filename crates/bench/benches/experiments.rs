@@ -4,52 +4,72 @@
 //! exercised once (not timed) so a full `cargo bench` stays tractable on a
 //! small host; the `millipede-bench` binaries regenerate everything at full
 //! scale.
+//!
+//! Gated behind the `bench` feature because the external `criterion` crate
+//! is unavailable in the offline build environment. To run: restore
+//! `criterion = "0.5"` under `[dev-dependencies]` in `crates/bench` and
+//! `cargo bench -p millipede-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use millipede_sim::{experiments, SimConfig};
-use std::time::Duration;
+#[cfg(feature = "bench")]
+mod imp {
+    use criterion::{criterion_group, Criterion};
+    use millipede_sim::{experiments, SimConfig};
+    use std::time::Duration;
 
-fn tiny() -> SimConfig {
-    SimConfig {
-        num_chunks: 2,
-        ..Default::default()
+    fn tiny() -> SimConfig {
+        SimConfig {
+            num_chunks: 2,
+            ..Default::default()
+        }
     }
-}
 
-fn quick() -> SimConfig {
-    SimConfig {
-        num_chunks: 8,
-        ..Default::default()
+    fn quick() -> SimConfig {
+        SimConfig {
+            num_chunks: 8,
+            ..Default::default()
+        }
     }
+
+    fn bench_experiments(c: &mut Criterion) {
+        let mut g = c.benchmark_group("experiments");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_secs(1))
+            .measurement_time(Duration::from_secs(8));
+
+        g.bench_function("table4", |b| b.iter(|| experiments::table4::run(&tiny())));
+        g.bench_function("fig3", |b| b.iter(|| experiments::fig3::run(&tiny())));
+        g.bench_function("fig4", |b| b.iter(|| experiments::fig4::run(&tiny())));
+        g.bench_function("fig7", |b| b.iter(|| experiments::fig7::run(&tiny())));
+        g.finish();
+
+        // Exercise the remaining experiments once and print the regenerated
+        // tables, so `cargo bench` output records the evaluation alongside the
+        // timings.
+        let cfg = quick();
+        println!("\n=== Regenerated tables (8-chunk quick runs) ===\n");
+        println!("Table IV\n{}", experiments::table4::run(&cfg).render());
+        println!("Fig. 3\n{}", experiments::fig3::run(&cfg).render());
+        println!("Fig. 5\n{}", experiments::fig5::run(&cfg).render());
+        println!("Fig. 6\n{}", experiments::fig6::run(&cfg).render());
+        println!("Fig. 7\n{}", experiments::fig7::run(&cfg).render());
+        println!(
+            "Rate-matching convergence\n{}",
+            experiments::convergence::run(&cfg).render()
+        );
+    }
+
+    criterion_group!(benches, bench_experiments);
 }
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_secs(1))
-        .measurement_time(Duration::from_secs(8));
-
-    g.bench_function("table4", |b| b.iter(|| experiments::table4::run(&tiny())));
-    g.bench_function("fig3", |b| b.iter(|| experiments::fig3::run(&tiny())));
-    g.bench_function("fig4", |b| b.iter(|| experiments::fig4::run(&tiny())));
-    g.bench_function("fig7", |b| b.iter(|| experiments::fig7::run(&tiny())));
-    g.finish();
-
-    // Exercise the remaining experiments once and print the regenerated
-    // tables, so `cargo bench` output records the evaluation alongside the
-    // timings.
-    let cfg = quick();
-    println!("\n=== Regenerated tables (8-chunk quick runs) ===\n");
-    println!("Table IV\n{}", experiments::table4::run(&cfg).render());
-    println!("Fig. 3\n{}", experiments::fig3::run(&cfg).render());
-    println!("Fig. 5\n{}", experiments::fig5::run(&cfg).render());
-    println!("Fig. 6\n{}", experiments::fig6::run(&cfg).render());
-    println!("Fig. 7\n{}", experiments::fig7::run(&cfg).render());
-    println!(
-        "Rate-matching convergence\n{}",
-        experiments::convergence::run(&cfg).render()
-    );
+#[cfg(feature = "bench")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!("experiment benches are gated behind `--features bench` (requires criterion)");
+}

@@ -1,52 +1,77 @@
 //! Criterion benches of the simulator's own throughput: how fast each
 //! architecture model simulates one benchmark. Useful for tracking
 //! regressions in the simulation kernels themselves.
+//!
+//! Gated behind the `bench` feature because the external `criterion` crate
+//! is unavailable in the offline build environment. To run: restore
+//! `criterion = "0.5"` under `[dev-dependencies]` in `crates/bench` and
+//! `cargo bench -p millipede-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use millipede_mapreduce::ThreadGrid;
-use millipede_sim::{Arch, SimConfig};
-use millipede_workloads::{Benchmark, Workload};
+#[cfg(feature = "bench")]
+mod imp {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use millipede_mapreduce::ThreadGrid;
+    use millipede_sim::{Arch, SimConfig};
+    use millipede_workloads::{Benchmark, Workload};
 
-fn bench_architectures(c: &mut Criterion) {
-    let cfg = SimConfig {
-        num_chunks: 4,
-        ..Default::default()
-    };
-    let mut g = c.benchmark_group("simulate-count");
-    g.sample_size(10);
-    for arch in [
-        Arch::Gpgpu,
-        Arch::Vws,
-        Arch::Ssmc,
-        Arch::VwsRow,
-        Arch::Millipede,
-        Arch::Multicore,
-    ] {
-        let w = Workload::build(Benchmark::Count, cfg.num_chunks, cfg.row_bytes, cfg.seed);
-        g.bench_with_input(BenchmarkId::from_parameter(arch.label()), &w, |b, w| {
-            b.iter(|| arch.run(w, &cfg))
+    fn bench_architectures(c: &mut Criterion) {
+        let cfg = SimConfig {
+            num_chunks: 4,
+            ..Default::default()
+        };
+        let mut g = c.benchmark_group("simulate-count");
+        g.sample_size(10);
+        for arch in [
+            Arch::Gpgpu,
+            Arch::Vws,
+            Arch::Ssmc,
+            Arch::VwsRow,
+            Arch::Millipede,
+            Arch::Multicore,
+        ] {
+            let w = Workload::build(Benchmark::Count, cfg.num_chunks, cfg.row_bytes, cfg.seed);
+            g.bench_with_input(BenchmarkId::from_parameter(arch.label()), &w, |b, w| {
+                b.iter(|| arch.run(w, &cfg))
+            });
+        }
+        g.finish();
+
+        let mut g = c.benchmark_group("simulate-millipede");
+        g.sample_size(10);
+        for bench in [
+            Benchmark::Count,
+            Benchmark::NBayes,
+            Benchmark::Kmeans,
+            Benchmark::Gda,
+        ] {
+            let w = Workload::build(bench, cfg.num_chunks, cfg.row_bytes, cfg.seed);
+            g.bench_with_input(BenchmarkId::from_parameter(bench.name()), &w, |b, w| {
+                b.iter(|| Arch::Millipede.run(w, &cfg))
+            });
+        }
+        g.finish();
+
+        let mut g = c.benchmark_group("functional-engine");
+        g.sample_size(20);
+        let w = Workload::build(Benchmark::Kmeans, cfg.num_chunks, cfg.row_bytes, cfg.seed);
+        g.bench_function("kmeans-128-threads", |b| {
+            b.iter(|| w.run_functional(&ThreadGrid::paper_default()))
         });
+        g.finish();
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("simulate-millipede");
-    g.sample_size(10);
-    for bench in [Benchmark::Count, Benchmark::NBayes, Benchmark::Kmeans, Benchmark::Gda] {
-        let w = Workload::build(bench, cfg.num_chunks, cfg.row_bytes, cfg.seed);
-        g.bench_with_input(BenchmarkId::from_parameter(bench.name()), &w, |b, w| {
-            b.iter(|| Arch::Millipede.run(w, &cfg))
-        });
-    }
-    g.finish();
-
-    let mut g = c.benchmark_group("functional-engine");
-    g.sample_size(20);
-    let w = Workload::build(Benchmark::Kmeans, cfg.num_chunks, cfg.row_bytes, cfg.seed);
-    g.bench_function("kmeans-128-threads", |b| {
-        b.iter(|| w.run_functional(&ThreadGrid::paper_default()))
-    });
-    g.finish();
+    criterion_group!(benches, bench_architectures);
 }
 
-criterion_group!(benches, bench_architectures);
-criterion_main!(benches);
+#[cfg(feature = "bench")]
+fn main() {
+    imp::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!("simulator benches are gated behind `--features bench` (requires criterion)");
+}

@@ -4,5 +4,8 @@
 fn main() {
     let cfg = millipede_bench::config_from_args();
     println!("Ablations ({} chunks, seed {})\n", cfg.num_chunks, cfg.seed);
-    println!("{}", millipede_sim::experiments::ablations::render_all(&cfg));
+    println!(
+        "{}",
+        millipede_sim::experiments::ablations::render_all(&cfg)
+    );
 }

@@ -1,7 +1,10 @@
 //! Regenerates the full evaluation: every table and figure in sequence.
 fn main() {
     let cfg = millipede_bench::config_from_args();
-    println!("Millipede reproduction — full evaluation ({} chunks, seed {})\n", cfg.num_chunks, cfg.seed);
+    println!(
+        "Millipede reproduction — full evaluation ({} chunks, seed {})\n",
+        cfg.num_chunks, cfg.seed
+    );
     println!("Table II — Summary of application behavior\n");
     println!("{}", millipede_sim::experiments::table2::render());
     println!("Table III — Hardware parameters\n");
@@ -19,7 +22,13 @@ fn main() {
     println!("Fig. 7 — Speedup vs prefetch-buffer count\n");
     println!("{}", millipede_sim::experiments::fig7::run(&cfg).render());
     println!("Rate-matching convergence (§IV-F)\n");
-    println!("{}", millipede_sim::experiments::convergence::run(&cfg).render());
+    println!(
+        "{}",
+        millipede_sim::experiments::convergence::run(&cfg).render()
+    );
     println!("Ablations (beyond the paper's figures)\n");
-    println!("{}", millipede_sim::experiments::ablations::render_all(&cfg));
+    println!(
+        "{}",
+        millipede_sim::experiments::ablations::render_all(&cfg)
+    );
 }

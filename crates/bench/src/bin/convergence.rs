@@ -1,6 +1,12 @@
 //! Reports the rate-matching DFS convergence traces (§IV-F of the paper).
 fn main() {
     let cfg = millipede_bench::config_from_args();
-    println!("Rate-matching convergence ({} chunks, seed {})\n", cfg.num_chunks, cfg.seed);
-    println!("{}", millipede_sim::experiments::convergence::run(&cfg).render());
+    println!(
+        "Rate-matching convergence ({} chunks, seed {})\n",
+        cfg.num_chunks, cfg.seed
+    );
+    println!(
+        "{}",
+        millipede_sim::experiments::convergence::run(&cfg).render()
+    );
 }

@@ -5,7 +5,10 @@ fn main() {
     if csv {
         print!("{}", fig.to_csv());
     } else {
-        println!("Fig. 3 — Performance (speedup over GPGPU, {} chunks)\n", cfg.num_chunks);
+        println!(
+            "Fig. 3 — Performance (speedup over GPGPU, {} chunks)\n",
+            cfg.num_chunks
+        );
         println!("{}", fig.render());
     }
 }

@@ -1,6 +1,9 @@
 //! Regenerates Fig. 4 — energy breakdown normalized to GPGPU.
 fn main() {
     let cfg = millipede_bench::config_from_args();
-    println!("Fig. 4 — Energy (relative to GPGPU; stacked core/dram/static, {} chunks)\n", cfg.num_chunks);
+    println!(
+        "Fig. 4 — Energy (relative to GPGPU; stacked core/dram/static, {} chunks)\n",
+        cfg.num_chunks
+    );
     println!("{}", millipede_sim::experiments::fig4::run(&cfg).render());
 }

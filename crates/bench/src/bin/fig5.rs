@@ -1,6 +1,9 @@
 //! Regenerates Fig. 5 — Millipede versus the conventional multicore.
 fn main() {
     let cfg = millipede_bench::config_from_args();
-    println!("Fig. 5 — 32-processor Millipede vs 8-core OoO multicore ({} chunks)\n", cfg.num_chunks);
+    println!(
+        "Fig. 5 — 32-processor Millipede vs 8-core OoO multicore ({} chunks)\n",
+        cfg.num_chunks
+    );
     println!("{}", millipede_sim::experiments::fig5::run(&cfg).render());
 }

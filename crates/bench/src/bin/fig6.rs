@@ -1,6 +1,9 @@
 //! Regenerates Fig. 6 — speedup versus system size.
 fn main() {
     let cfg = millipede_bench::config_from_args();
-    println!("Fig. 6 — Speedup vs system size (normalized to 32-lane GPGPU, {} chunks)\n", cfg.num_chunks);
+    println!(
+        "Fig. 6 — Speedup vs system size (normalized to 32-lane GPGPU, {} chunks)\n",
+        cfg.num_chunks
+    );
     println!("{}", millipede_sim::experiments::fig6::run(&cfg).render());
 }

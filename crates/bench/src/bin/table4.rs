@@ -5,7 +5,10 @@ fn main() {
     if csv {
         print!("{}", t.to_csv());
     } else {
-        println!("Table IV — Benchmark parameters and characteristics ({} chunks)\n", cfg.num_chunks);
+        println!(
+            "Table IV — Benchmark parameters and characteristics ({} chunks)\n",
+            cfg.num_chunks
+        );
         println!("{}", t.render());
     }
 }

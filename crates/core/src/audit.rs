@@ -1,0 +1,325 @@
+//! Runtime invariant sanitizer for the Millipede mechanisms.
+//!
+//! The paper's correctness arguments rest on a handful of structural
+//! invariants that the cycle-level models must uphold on every trace:
+//!
+//! * **DF counters are monotone and bounded** (§IV-C): a row entry's
+//!   demand-fetch counter only ever increments, and saturates at the
+//!   consumer-group count. A regressing or overflowing counter would let
+//!   flow control retire a row that lagging corelets still need.
+//! * **Head re-allocation requires saturation** (§IV-C): with flow control
+//!   on, the circular prefetch queue's head entry may be overwritten only
+//!   after its DF counter saturated. (The `Millipede-no-flow-control`
+//!   ablation deliberately violates this — there the premature eviction is
+//!   the measured effect, so the check is scoped to flow-controlled runs.)
+//! * **Blocked triggers re-arm** (§IV-C liveness): a PFT trigger deferred
+//!   by flow control must eventually re-fire off a later access or a DF
+//!   saturation event; otherwise the prefetch stream wedges and the
+//!   processor deadlocks at the idle-cycle guard with no diagnosis.
+//! * **Rate-matched periods stay in band** (§IV-F): the DFS controller may
+//!   never push the compute period outside `[nominal, 4 x nominal]`.
+//! * **Per-domain time is monotone**: compute-edge and channel-edge
+//!   timestamps each never move backwards (the dual-clock merge would
+//!   otherwise reorder cause and effect).
+//!
+//! The checker is compiled unconditionally and costs one branch per probe
+//! when disabled. It is enabled by default in debug builds and can be
+//! forced on in release via [`MillipedeConfig::invariant_checks`]
+//! (`crate::MillipedeConfig`). Violations *accumulate* — probes never panic
+//! on the spot, so tests can drive deliberately illegal traces and inspect
+//! the report; the processor run loop calls [`InvariantChecker::assert_clean`]
+//! once at end of run.
+//!
+//! [`MillipedeConfig::invariant_checks`]: crate::MillipedeConfig
+
+use millipede_dram::TimePs;
+
+/// A clock domain whose timestamps must be monotone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// The DFS-scaled compute clock (nominal 700 MHz).
+    Compute,
+    /// The fixed 1.2 GHz DRAM channel clock.
+    Channel,
+}
+
+/// Accumulating invariant checker (see the module docs for the catalogue).
+#[derive(Debug, Clone, Default)]
+pub struct InvariantChecker {
+    enabled: bool,
+    violations: Vec<String>,
+    /// Per-slot `(row, df)` last observed, for DF monotonicity.
+    df_seen: Vec<(u64, u32)>,
+    /// A flow-control-blocked PFT trigger is outstanding.
+    blocked_pending: bool,
+    /// Consume probes observed while `blocked_pending`.
+    watchdog: u64,
+    /// Probes a blocked trigger may stay dormant before the liveness
+    /// invariant is declared violated (0 = watchdog off).
+    watchdog_limit: u64,
+    last_compute_ps: Option<TimePs>,
+    last_channel_ps: Option<TimePs>,
+}
+
+impl InvariantChecker {
+    /// Creates a checker. Disabled checkers record nothing.
+    pub fn new(enabled: bool) -> InvariantChecker {
+        InvariantChecker {
+            enabled,
+            ..InvariantChecker::default()
+        }
+    }
+
+    /// Enables or disables the checker (existing violations are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether probes currently record violations.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the liveness watchdog threshold (probes a blocked trigger may
+    /// remain dormant). The prefetch buffer sizes this to a bound on the
+    /// probes any legal trace needs before a saturation event re-arms.
+    pub fn set_watchdog_limit(&mut self, limit: u64) {
+        self.watchdog_limit = limit;
+    }
+
+    /// Records a violation verbatim.
+    pub fn note(&mut self, message: String) {
+        if self.enabled {
+            self.violations.push(message);
+        }
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Whether no violation has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the full violation list if any were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checker holds at least one violation.
+    pub fn assert_clean(&self, what: &str) {
+        assert!(
+            self.is_clean(),
+            "invariant violations in {what}:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+
+    /// Probe: entry `slot` now holds `row` with DF counter `df` out of
+    /// `groups` consumer groups (§IV-C monotone/bounded invariant).
+    pub fn on_df_update(&mut self, slot: usize, row: u64, df: u32, groups: usize) {
+        if !self.enabled {
+            return;
+        }
+        if self.df_seen.len() <= slot {
+            self.df_seen.resize(slot + 1, (u64::MAX, 0));
+        }
+        let (seen_row, seen_df) = self.df_seen[slot];
+        if seen_row == row && df < seen_df {
+            self.note(format!(
+                "DF counter regressed on row {row} (slot {slot}): {seen_df} -> {df}"
+            ));
+        }
+        if df as usize > groups {
+            self.note(format!(
+                "DF counter exceeds group count on row {row} (slot {slot}): {df} > {groups}"
+            ));
+        }
+        self.df_seen[slot] = (row, df);
+    }
+
+    /// Probe: a valid entry holding `row` (DF `df` of `groups`) is being
+    /// overwritten by a newer allocation. `retired` is whether the head
+    /// pointer had already moved past the row.
+    pub fn on_entry_realloc(
+        &mut self,
+        row: u64,
+        df: u32,
+        groups: usize,
+        flow_control: bool,
+        retired: bool,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if flow_control && (!retired || (df as usize) < groups) {
+            self.note(format!(
+                "head row {row} re-allocated before saturation under flow control \
+                 (df {df}/{groups}, retired {retired})"
+            ));
+        }
+    }
+
+    /// Probe: one `consume` finished; `blocked` is whether a trigger was
+    /// deferred this probe, `fired` how many prefetches were triggered, and
+    /// `exhausted` whether the row stream has fully allocated (no trigger
+    /// left to re-arm).
+    pub fn on_trigger_outcome(&mut self, blocked: bool, fired: u32, exhausted: bool) {
+        if !self.enabled {
+            return;
+        }
+        if fired > 0 || exhausted {
+            self.blocked_pending = false;
+            self.watchdog = 0;
+        }
+        if blocked {
+            self.blocked_pending = true;
+        }
+        if self.blocked_pending {
+            self.watchdog += 1;
+            if self.watchdog_limit > 0 && self.watchdog == self.watchdog_limit {
+                self.note(format!(
+                    "blocked PFT trigger not re-armed within {} consumes (liveness)",
+                    self.watchdog_limit
+                ));
+            }
+        }
+    }
+
+    /// Probe: the DFS controller set the compute period to `period`
+    /// (§IV-F band invariant).
+    pub fn on_rate_period(&mut self, period: TimePs, nominal: TimePs, max: TimePs) {
+        if !self.enabled {
+            return;
+        }
+        if period < nominal || period > max {
+            self.note(format!(
+                "rate-matched period {period} ps outside [{nominal}, {max}]"
+            ));
+        }
+    }
+
+    /// Probe: an edge of `domain` fired at `now`.
+    pub fn on_clock_edge(&mut self, domain: ClockDomain, now: TimePs) {
+        if !self.enabled {
+            return;
+        }
+        let last = match domain {
+            ClockDomain::Compute => &mut self.last_compute_ps,
+            ClockDomain::Channel => &mut self.last_channel_ps,
+        };
+        let prev = last.replace(now);
+        if let Some(prev) = prev {
+            if now < prev {
+                self.note(format!(
+                    "{domain:?} clock moved backwards: {prev} -> {now} ps"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_checker_records_nothing() {
+        let mut c = InvariantChecker::new(false);
+        c.on_df_update(0, 0, 5, 2);
+        c.on_rate_period(1, 10, 20);
+        c.on_clock_edge(ClockDomain::Compute, 10);
+        c.on_clock_edge(ClockDomain::Compute, 5);
+        assert!(c.is_clean());
+        c.assert_clean("disabled");
+    }
+
+    #[test]
+    fn df_regression_and_overflow_are_caught() {
+        let mut c = InvariantChecker::new(true);
+        c.on_df_update(3, 7, 1, 2);
+        c.on_df_update(3, 7, 2, 2);
+        assert!(c.is_clean());
+        c.on_df_update(3, 7, 1, 2); // regression
+        c.on_df_update(3, 7, 3, 2); // overflow
+        assert_eq!(c.violations().len(), 2);
+    }
+
+    #[test]
+    fn df_counter_resets_with_new_row_in_slot() {
+        let mut c = InvariantChecker::new(true);
+        c.on_df_update(0, 0, 2, 2);
+        // Slot re-used by a newer row: the counter legitimately restarts.
+        c.on_df_update(0, 4, 1, 2);
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn premature_head_realloc_trips_under_flow_control_only() {
+        let mut c = InvariantChecker::new(true);
+        c.on_entry_realloc(5, 1, 2, false, false); // ablation: legal
+        assert!(c.is_clean());
+        c.on_entry_realloc(5, 2, 2, true, true); // saturated + retired: legal
+        assert!(c.is_clean());
+        c.on_entry_realloc(5, 1, 2, true, false); // illegal
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn blocked_trigger_watchdog_fires_once() {
+        let mut c = InvariantChecker::new(true);
+        c.set_watchdog_limit(4);
+        c.on_trigger_outcome(true, 0, false);
+        for _ in 0..10 {
+            c.on_trigger_outcome(false, 0, false);
+        }
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+    }
+
+    #[test]
+    fn rearmed_trigger_resets_watchdog() {
+        let mut c = InvariantChecker::new(true);
+        c.set_watchdog_limit(4);
+        c.on_trigger_outcome(true, 0, false);
+        c.on_trigger_outcome(false, 1, false); // re-armed and fired
+        for _ in 0..10 {
+            c.on_trigger_outcome(false, 0, false);
+        }
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn exhausted_stream_disarms_watchdog() {
+        let mut c = InvariantChecker::new(true);
+        c.set_watchdog_limit(4);
+        c.on_trigger_outcome(true, 0, false);
+        c.on_trigger_outcome(false, 0, true);
+        for _ in 0..10 {
+            c.on_trigger_outcome(false, 0, true);
+        }
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn rate_band_and_clock_monotonicity() {
+        let mut c = InvariantChecker::new(true);
+        c.on_rate_period(1500, 1429, 5716);
+        c.on_clock_edge(ClockDomain::Compute, 100);
+        c.on_clock_edge(ClockDomain::Channel, 50); // independent domain
+        c.on_clock_edge(ClockDomain::Compute, 100); // equal is fine
+        assert!(c.is_clean());
+        c.on_rate_period(1000, 1429, 5716);
+        c.on_clock_edge(ClockDomain::Compute, 99);
+        assert_eq!(c.violations().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violations in pbuf")]
+    fn assert_clean_panics_with_report() {
+        let mut c = InvariantChecker::new(true);
+        c.note("synthetic".into());
+        c.assert_clean("pbuf");
+    }
+}

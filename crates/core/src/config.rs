@@ -34,6 +34,11 @@ pub struct MillipedeConfig {
     /// Abort the simulation if no corelet issues for this many consecutive
     /// compute cycles (deadlock guard).
     pub max_idle_cycles: u64,
+    /// Run the runtime invariant sanitizer ([`crate::audit`]): DF-counter
+    /// monotonicity, flow-control head protection, blocked-trigger
+    /// liveness, DRAM tRC spacing, and per-domain clock monotonicity.
+    /// Defaults to on in debug builds, off in release.
+    pub invariant_checks: bool,
     /// Use the slab-interleaved ("wide column") record assignment. The
     /// paper notes Millipede tolerates wider columns ("Millipede can use
     /// wider columns for layout flexibility", §IV-C): the corelet still
@@ -56,6 +61,7 @@ impl Default for MillipedeConfig {
             timing: DramTiming::default(),
             dram_queue: 16,
             max_idle_cycles: 2_000_000,
+            invariant_checks: cfg!(debug_assertions),
             wide_columns: false,
         }
     }

@@ -26,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod pbuf;
 pub mod processor;
 pub mod rate;
 pub mod result;
 
+pub use audit::{ClockDomain, InvariantChecker};
 pub use config::MillipedeConfig;
 pub use pbuf::{ConsumeOutcome, Lookup, RowPrefetchBuffer};
 pub use processor::run;

@@ -24,6 +24,8 @@
 //! evicted row's lagging corelets must re-fetch their slab directly from
 //! DRAM, exposing full memory latency — the behaviour Fig. 3 isolates.
 
+use crate::audit::InvariantChecker;
+
 /// Result of looking up the row for a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lookup {
@@ -108,6 +110,9 @@ pub struct RowPrefetchBuffer {
     /// Allocated entries whose DRAM fetch has not been handed out yet.
     fetch_queue: std::collections::VecDeque<usize>,
     stats: PbufStats,
+    /// §IV-B/C sanitizer (DF monotonicity, head protection, trigger
+    /// liveness); enabled by default in debug builds.
+    audit: InvariantChecker,
 }
 
 impl RowPrefetchBuffer {
@@ -125,6 +130,13 @@ impl RowPrefetchBuffer {
     ) -> RowPrefetchBuffer {
         assert!(capacity >= 2, "need at least two entries");
         assert!(groups > 0 && words_per_group > 0);
+        let mut audit = InvariantChecker::new(cfg!(debug_assertions));
+        // A legal trace re-arms a blocked trigger within one full drain of
+        // the buffer (every group consuming every resident word); double it
+        // for slack.
+        audit.set_watchdog_limit(
+            2 * capacity as u64 * groups as u64 * u64::from(words_per_group) + 64,
+        );
         let mut buf = RowPrefetchBuffer {
             capacity,
             groups,
@@ -136,6 +148,7 @@ impl RowPrefetchBuffer {
             entries: vec![Entry::invalid(groups); capacity],
             fetch_queue: std::collections::VecDeque::new(),
             stats: PbufStats::default(),
+            audit,
         };
         while buf.next_row < buf.end_row.min(capacity as u64) {
             buf.allocate_unchecked();
@@ -153,6 +166,17 @@ impl RowPrefetchBuffer {
         &self.stats
     }
 
+    /// Forces the invariant sanitizer on or off (it defaults to on in
+    /// debug builds only).
+    pub fn set_invariant_checks(&mut self, enabled: bool) {
+        self.audit.set_enabled(enabled);
+    }
+
+    /// The sanitizer and its accumulated violations.
+    pub fn audit(&self) -> &InvariantChecker {
+        &self.audit
+    }
+
     fn slot_of(&self, row: u64) -> usize {
         (row % self.capacity as u64) as usize
     }
@@ -166,6 +190,13 @@ impl RowPrefetchBuffer {
         debug_assert!(self.live_len() < self.capacity as u64);
         debug_assert!(self.next_row < self.end_row);
         let slot = self.slot_of(self.next_row);
+        if self.entries[slot].valid {
+            let old = &self.entries[slot];
+            let retired = old.row < self.head_row;
+            let (row, df) = (old.row, old.df);
+            self.audit
+                .on_entry_realloc(row, df, self.groups, self.flow_control, retired);
+        }
         self.entries[slot] = Entry {
             row: self.next_row,
             valid: true,
@@ -260,7 +291,7 @@ impl RowPrefetchBuffer {
     /// trigger and flow-control logic.
     pub fn consume(&mut self, slot: usize, group: usize) -> ConsumeOutcome {
         let mut out = ConsumeOutcome::default();
-        {
+        let (row, df) = {
             let e = &mut self.entries[slot];
             debug_assert!(e.valid && e.ready);
             e.accessed = true;
@@ -277,7 +308,9 @@ impl RowPrefetchBuffer {
                     out.saturated = true;
                 }
             }
-        }
+            (e.row, e.df)
+        };
+        self.audit.on_df_update(slot, row, df, self.groups);
 
         // PFT: the entry's first demand access triggers the next prefetch.
         // The bit is cleared *before* the allocation because the new row may
@@ -300,6 +333,9 @@ impl RowPrefetchBuffer {
         if out.saturated {
             out.triggered += self.retry_blocked_triggers();
         }
+        let exhausted = self.exhausted();
+        self.audit
+            .on_trigger_outcome(out.trigger_blocked, out.triggered, exhausted);
         out
     }
 
@@ -340,13 +376,14 @@ impl RowPrefetchBuffer {
     /// Hands out up to `max` pending row fetches as `(slot, row)` pairs.
     /// Slots handed out must be completed via [`Self::fill_complete`].
     pub fn take_fetches(&mut self, max: usize) -> Vec<(usize, u64)> {
-        let n = max.min(self.fetch_queue.len());
-        (0..n)
-            .map(|_| {
-                let slot = self.fetch_queue.pop_front().unwrap();
-                (slot, self.entries[slot].row)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(max.min(self.fetch_queue.len()));
+        while out.len() < max {
+            let Some(slot) = self.fetch_queue.pop_front() else {
+                break;
+            };
+            out.push((slot, self.entries[slot].row));
+        }
+        out
     }
 
     /// Returns an undelivered fetch (DRAM queue was full); it stays next in
@@ -423,7 +460,10 @@ mod tests {
         }
         let out = consume_all(&mut buf, 0, 1);
         assert!(out.saturated);
-        assert!(out.triggered >= 1, "saturation re-armed the blocked trigger");
+        assert!(
+            out.triggered >= 1,
+            "saturation re-armed the blocked trigger"
+        );
         // Row 4 allocated into slot 0.
         assert_eq!(buf.take_fetches(usize::MAX), vec![(0, 4)]);
         assert_eq!(buf.lookup(0), Lookup::Evicted); // row 0 retired after full consumption
@@ -457,7 +497,11 @@ mod tests {
         let out = consume_all(&mut buf, 1, 0);
         // Triggers blocked: head (row 0) not consumed by group 1.
         assert!(out.trigger_blocked);
-        assert_eq!(buf.lookup(0), Lookup::Ready { slot: 0 }, "row 0 NOT evicted");
+        assert_eq!(
+            buf.lookup(0),
+            Lookup::Ready { slot: 0 },
+            "row 0 NOT evicted"
+        );
         assert_eq!(buf.stats().premature_evictions, 0);
         // Group 1 finishes row 0 → saturation fires the pending triggers.
         let out = consume_all(&mut buf, 0, 1);
@@ -528,13 +572,54 @@ mod tests {
     }
 
     #[test]
+    fn final_tail_consume_rearms_blocked_triggers() {
+        // Liveness regression (§IV-C): the PFT re-arm must hang off the DF
+        // *saturation* event, not only off later demand accesses. Once the
+        // leading group has consumed everything resident, no further access
+        // to a blocked entry will ever arrive — the lagging group's final
+        // consumes are the only remaining events, so each saturation must
+        // itself re-fire the deferred triggers or the stream wedges.
+        let mut buf = RowPrefetchBuffer::new(2, 2, 4, 100, true);
+        buf.set_invariant_checks(true);
+        fill_all_pending(&mut buf);
+        // Group 0 races ahead through both resident rows; every trigger is
+        // now deferred by flow control (head row 0 is unsaturated).
+        consume_all(&mut buf, 0, 0);
+        let out = consume_all(&mut buf, 1, 0);
+        assert!(out.trigger_blocked);
+        assert!(
+            buf.take_fetches(usize::MAX).is_empty(),
+            "nothing re-armed yet"
+        );
+        // Group 1 finishes the head: its saturation re-fires a deferred
+        // trigger, allocating row 2 into the freed slot.
+        let out = consume_all(&mut buf, 0, 1);
+        assert!(out.saturated);
+        assert!(out.triggered >= 1, "head saturation re-armed a trigger");
+        assert_eq!(buf.take_fetches(usize::MAX), vec![(0, 2)]);
+        // Group 1's *final* consume of the old tail (row 1, while row 2's
+        // trigger sits blocked behind it) saturates the new head and must
+        // re-arm again — this is the very last access that can do so.
+        let out = consume_all(&mut buf, 1, 1);
+        assert!(out.saturated);
+        assert!(out.triggered >= 1, "tail saturation re-armed a trigger");
+        assert_eq!(buf.take_fetches(usize::MAX), vec![(1, 3)]);
+        // The sanitizer watched the whole trace and found it legal.
+        buf.audit().assert_clean("liveness regression trace");
+        assert_eq!(buf.stats().premature_evictions, 0);
+    }
+
+    #[test]
     fn untake_fetch_preserves_order() {
         let mut buf = RowPrefetchBuffer::new(4, 1, 4, 100, true);
         let fetches = buf.take_fetches(2);
         assert_eq!(fetches, vec![(0, 0), (1, 1)]);
         buf.untake_fetch(1);
         buf.untake_fetch(0);
-        assert_eq!(buf.take_fetches(usize::MAX), vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert_eq!(
+            buf.take_fetches(usize::MAX),
+            vec![(0, 0), (1, 1), (2, 2), (3, 3)]
+        );
     }
 
     #[test]

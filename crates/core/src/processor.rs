@@ -17,6 +17,7 @@
 //!   exposing full memory latency and re-activating old rows — the cost
 //!   Fig. 3's `Millipede-no-flow-control` bars show.
 
+use crate::audit::{ClockDomain, InvariantChecker};
 use crate::config::MillipedeConfig;
 use crate::pbuf::{Lookup, RowPrefetchBuffer};
 use crate::rate::{OccupancySignal, RateMatcher};
@@ -34,7 +35,7 @@ mod run_impl {
     use millipede_isa::AddrSpace;
     use millipede_mapreduce::ThreadGrid;
     use millipede_workloads::Workload;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     const TAG_PREFETCH_BASE: u64 = 1 << 32;
     const TAG_BYPASS: u64 = 1 << 33;
@@ -95,11 +96,14 @@ mod run_impl {
             total_rows,
             cfg.flow_control,
         );
-        let mut mc =
-            MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
+        let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
         let nominal = period_ps_for_mhz(cfg.compute_mhz);
         let mut clock = DualClock::new(nominal, cfg.timing.channel_period_ps);
         let mut rate = RateMatcher::new(cfg.rate_match, nominal, cfg.rate_cooldown);
+        pbuf.set_invariant_checks(cfg.invariant_checks);
+        rate.set_invariant_checks(cfg.invariant_checks);
+        mc.set_invariant_checks(cfg.invariant_checks);
+        let mut clock_audit = InvariantChecker::new(cfg.invariant_checks);
 
         let mut ctxs: Vec<Vec<Ctx>> = (0..cfg.corelets)
             .map(|c| {
@@ -115,8 +119,9 @@ mod run_impl {
             .collect();
         let mut rr = vec![0usize; cfg.corelets];
         // Per-corelet bypass store: row → slab-fill-arrived (no-flow-control
-        // premature-eviction recovery path).
-        let mut bypass: Vec<HashMap<u64, bool>> = vec![HashMap::new(); cfg.corelets];
+        // premature-eviction recovery path). Ordered so the eviction of the
+        // lowest (oldest) row is deterministic.
+        let mut bypass: Vec<BTreeMap<u64, bool>> = vec![BTreeMap::new(); cfg.corelets];
 
         let mut stats = CoreStats::default();
         let total_threads = cfg.corelets * cfg.contexts;
@@ -128,6 +133,7 @@ mod run_impl {
         while halted < total_threads {
             match clock.pop() {
                 Edge::Compute(now) => {
+                    clock_audit.on_clock_edge(ClockDomain::Compute, now);
                     last_time = now;
                     cycle += 1;
                     // Hand pending row prefetches to the controller.
@@ -184,12 +190,12 @@ mod run_impl {
                     );
                 }
                 Edge::Channel(now) => {
+                    clock_audit.on_clock_edge(ClockDomain::Channel, now);
                     last_time = now;
                     mc.tick(now);
                     for comp in mc.pop_completed(now) {
                         if comp.tag >= TAG_BYPASS {
-                            let corelet =
-                                ((comp.addr % row_bytes) / slab_bytes) as usize;
+                            let corelet = ((comp.addr % row_bytes) / slab_bytes) as usize;
                             let row = comp.addr / row_bytes;
                             bypass[corelet].insert(row, true);
                         } else {
@@ -210,6 +216,12 @@ mod run_impl {
             0.0
         };
         stats.rate_trace = rate.trace().to_vec();
+
+        // End-of-run sanitizer report (all no-ops when the checks are off).
+        pbuf.audit().assert_clean("row prefetch buffer");
+        rate.audit().assert_clean("rate matcher");
+        mc.timing_audit().assert_clean("memory controller");
+        clock_audit.assert_clean("clock domains");
 
         let states: Vec<&[u32]> = ctxs
             .iter()
@@ -240,7 +252,7 @@ mod run_impl {
         slab_bytes: u64,
         ctxs: &mut [Vec<Ctx>],
         rr: &mut [usize],
-        bypass: &mut [HashMap<u64, bool>],
+        bypass: &mut [BTreeMap<u64, bool>],
         pbuf: &mut RowPrefetchBuffer,
         mc: &mut MemoryController,
         clock: &mut DualClock,
@@ -253,12 +265,9 @@ mod run_impl {
             if ctxs[c][x].done || ctxs[c][x].at_barrier {
                 continue;
             }
-            let is_input_load = matches!(
-                effective_access(&ctxs[c][x].t, program),
-                Some(ea) if ea.space == AddrSpace::Input
-            );
-            if is_input_load {
-                let ea = effective_access(&ctxs[c][x].t, program).unwrap();
+            let input_ea =
+                effective_access(&ctxs[c][x].t, program).filter(|ea| ea.space == AddrSpace::Input);
+            if let Some(ea) = input_ea {
                 let row = ea.addr / row_bytes;
                 match pbuf.lookup(row) {
                     Lookup::Ready { slot } => {
@@ -317,11 +326,11 @@ mod run_impl {
                                 };
                                 if mc.try_push(req, now).is_ok() {
                                     if bypass[c].len() >= 32 {
-                                        // Bound the store: oldest rows are
-                                        // never needed again.
-                                        let oldest =
-                                            *bypass[c].keys().min().unwrap();
-                                        bypass[c].remove(&oldest);
+                                        // Bound the store: oldest (lowest)
+                                        // rows are never needed again.
+                                        if let Some(oldest) = bypass[c].keys().next().copied() {
+                                            bypass[c].remove(&oldest);
+                                        }
                                     }
                                     bypass[c].insert(row, false);
                                     stats.demand_fetches += 1;
@@ -390,10 +399,7 @@ mod run_impl {
     /// Releases every waiting context once all live contexts on the
     /// processor have reached the barrier.
     fn release_barrier_if_ready(ctxs: &mut [Vec<Ctx>]) {
-        let all_waiting = ctxs
-            .iter()
-            .flatten()
-            .all(|ctx| ctx.done || ctx.at_barrier);
+        let all_waiting = ctxs.iter().flatten().all(|ctx| ctx.done || ctx.at_barrier);
         if all_waiting {
             for ctx in ctxs.iter_mut().flatten() {
                 ctx.at_barrier = false;
@@ -436,7 +442,10 @@ mod tests {
         let rows = w.dataset.layout.total_rows();
         assert_eq!(r.dram.activations, rows, "one activation per row");
         assert_eq!(r.dram.bytes_transferred, rows * 2048);
-        assert!(r.dram.row_miss_rate() > 0.99, "every row request opens its row once");
+        assert!(
+            r.dram.row_miss_rate() > 0.99,
+            "every row request opens its row once"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! energy savings come from eliminating idle cycles, not from lower
 //! switching energy per operation.
 
+use crate::audit::InvariantChecker;
 use millipede_engine::{mhz_for_period_ps, DualClock, TimePs};
 
 /// Occupancy events sampled by the processor.
@@ -38,6 +39,9 @@ pub struct RateMatcher {
     /// Applied adjustments as `(compute cycle, resulting MHz)` — the
     /// convergence trace the paper reasons about in §IV-F.
     trace: Vec<(u64, f64)>,
+    /// §IV-F band sanitizer (the period must stay in
+    /// `[nominal, MAX_SLOWDOWN x nominal]`).
+    audit: InvariantChecker,
 }
 
 impl RateMatcher {
@@ -61,13 +65,26 @@ impl RateMatcher {
         RateMatcher {
             enabled,
             nominal_period,
+            // audit:allow(cast-truncation): deliberate round-toward-zero of a small bounded product
             max_period: (nominal_period as f64 * Self::MAX_SLOWDOWN) as TimePs,
             cooldown,
             last_slowdown_cycle: 0,
             last_speedup_cycle: 0,
             adjustments: 0,
             trace: Vec::new(),
+            audit: InvariantChecker::new(cfg!(debug_assertions)),
         }
+    }
+
+    /// Forces the invariant sanitizer on or off (it defaults to on in
+    /// debug builds only).
+    pub fn set_invariant_checks(&mut self, enabled: bool) {
+        self.audit.set_enabled(enabled);
+    }
+
+    /// The sanitizer and its accumulated violations.
+    pub fn audit(&self) -> &InvariantChecker {
+        &self.audit
     }
 
     /// Feeds one occupancy signal observed at compute cycle `cycle`,
@@ -84,20 +101,22 @@ impl RateMatcher {
                     return;
                 }
                 self.last_slowdown_cycle = cycle;
+                // audit:allow(cast-truncation): hill-climbing step; ±1 ps rounding is part of the calibrated model
                 (period * (1.0 + Self::STEP)) as TimePs
             }
             // Compute-bound: speed the clock up (shorter period).
             OccupancySignal::Full => {
-                if self.adjustments > 0
-                    && cycle < self.last_speedup_cycle + self.cooldown / 8
-                {
+                if self.adjustments > 0 && cycle < self.last_speedup_cycle + self.cooldown / 8 {
                     return;
                 }
                 self.last_speedup_cycle = cycle;
+                // audit:allow(cast-truncation): hill-climbing step; ±1 ps rounding is part of the calibrated model
                 (period / (1.0 + Self::STEP)) as TimePs
             }
         };
         let clamped = new_period.clamp(self.nominal_period, self.max_period);
+        self.audit
+            .on_rate_period(clamped, self.nominal_period, self.max_period);
         if clamped != clock.compute_period() {
             clock.set_compute_period(clamped);
             self.adjustments += 1;

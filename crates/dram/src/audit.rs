@@ -1,0 +1,150 @@
+//! DRAM command-timing sanitizer.
+//!
+//! The bank state machine (see [`crate::bank`]) is *supposed* to guarantee
+//! JEDEC-style command spacing; this module checks the guarantee on real
+//! traces instead of trusting it. Two invariants per bank:
+//!
+//! * **tRC spacing**: consecutive activations of the same bank are at least
+//!   `tRAS + tRP` apart (an open row must satisfy its minimum open time and
+//!   be precharged before the next activate — Table III's 27 + 9 channel
+//!   cycles);
+//! * **monotone activation times**: a bank's activations never move
+//!   backwards in time.
+//!
+//! Like `millipede_core`'s checker, violations accumulate rather than
+//! panicking at the probe, so tests can feed deliberately illegal traces;
+//! [`MemoryController`](crate::MemoryController) owns one checker and the
+//! simulators assert it clean at end of run.
+
+use crate::timing::DramTiming;
+use crate::TimePs;
+
+/// Accumulating checker for per-bank activate/precharge spacing.
+#[derive(Debug, Clone, Default)]
+pub struct TimingAudit {
+    enabled: bool,
+    violations: Vec<String>,
+    /// Last activation time per bank.
+    last_act: Vec<Option<TimePs>>,
+}
+
+impl TimingAudit {
+    /// Creates a checker for `banks` banks. Disabled checkers record
+    /// nothing.
+    pub fn new(enabled: bool, banks: usize) -> TimingAudit {
+        TimingAudit {
+            enabled,
+            violations: Vec::new(),
+            last_act: vec![None; banks],
+        }
+    }
+
+    /// Enables or disables the checker (existing violations are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether probes currently record violations.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Whether no violation has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the full violation list if any were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checker holds at least one violation.
+    pub fn assert_clean(&self, what: &str) {
+        assert!(
+            self.is_clean(),
+            "DRAM timing violations in {what}:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+
+    /// Probe: `bank` issued an activate at `at`.
+    pub fn on_activation(&mut self, bank: usize, at: TimePs, timing: &DramTiming) {
+        if !self.enabled {
+            return;
+        }
+        if self.last_act.len() <= bank {
+            self.last_act.resize(bank + 1, None);
+        }
+        if let Some(prev) = self.last_act[bank] {
+            if at < prev {
+                self.violations.push(format!(
+                    "bank {bank} activation moved backwards: {prev} -> {at} ps"
+                ));
+            } else {
+                let t_rc = timing.cycles_ps(timing.t_ras + timing.t_rp);
+                if at - prev < t_rc {
+                    self.violations.push(format!(
+                        "bank {bank} activations {prev} and {at} ps violate tRC \
+                         ({} ps required, {} ps observed)",
+                        t_rc,
+                        at - prev
+                    ));
+                }
+            }
+        }
+        self.last_act[bank] = Some(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::default()
+    }
+
+    #[test]
+    fn legal_spacing_is_clean() {
+        let mut a = TimingAudit::new(true, 4);
+        let t_rc = t().cycles_ps(27 + 9);
+        a.on_activation(0, 0, &t());
+        a.on_activation(0, t_rc, &t());
+        a.on_activation(0, 3 * t_rc, &t());
+        // Different bank: no interaction.
+        a.on_activation(1, 1, &t());
+        assert!(a.is_clean());
+        a.assert_clean("bank 0");
+    }
+
+    #[test]
+    fn trc_violation_is_caught() {
+        let mut a = TimingAudit::new(true, 4);
+        a.on_activation(2, 0, &t());
+        a.on_activation(2, t().cycles_ps(10), &t()); // < tRAS+tRP
+        assert_eq!(a.violations().len(), 1);
+        assert!(a.violations()[0].contains("tRC"));
+    }
+
+    #[test]
+    fn backwards_activation_is_caught() {
+        let mut a = TimingAudit::new(true, 1);
+        a.on_activation(0, 100_000, &t());
+        a.on_activation(0, 50_000, &t());
+        assert_eq!(a.violations().len(), 1);
+        assert!(a.violations()[0].contains("backwards"));
+    }
+
+    #[test]
+    fn disabled_audit_records_nothing() {
+        let mut a = TimingAudit::new(false, 1);
+        a.on_activation(0, 100, &t());
+        a.on_activation(0, 101, &t());
+        assert!(a.is_clean());
+    }
+}

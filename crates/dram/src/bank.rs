@@ -14,8 +14,7 @@ use crate::TimePs;
 /// * row miss with a row open: `tRP + tRCD + tCAS`, with the precharge not
 ///   starting before `tRAS` has elapsed since the open row's activation;
 /// * cold miss (no row open): `tRCD + tCAS`.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Bank {
     open_row: Option<u64>,
     /// Time the current/previous command sequence finishes using the bank.
@@ -33,8 +32,9 @@ pub struct BankAccess {
     pub row_hit: bool,
     /// Whether an activate command was issued (for energy accounting).
     pub activated: bool,
+    /// When the activate was issued (meaningful only when `activated`).
+    pub act_at: TimePs,
 }
-
 
 impl Bank {
     /// Creates an idle bank with all rows closed.
@@ -90,6 +90,7 @@ impl Bank {
             data_ready,
             row_hit,
             activated,
+            act_at: if activated { self.activated_at } else { 0 },
         }
     }
 }

@@ -1,5 +1,6 @@
 //! FR-FCFS memory controller.
 
+use crate::audit::TimingAudit;
 use crate::bank::Bank;
 use crate::geometry::DramGeometry;
 use crate::timing::DramTiming;
@@ -109,6 +110,9 @@ pub struct MemoryController {
     bus_free: TimePs,
     next_id: ReqId,
     stats: DramStats,
+    /// Activate/precharge spacing sanitizer (see [`TimingAudit`]); enabled
+    /// by default in debug builds.
+    audit: TimingAudit,
 }
 
 impl MemoryController {
@@ -126,6 +130,7 @@ impl MemoryController {
         assert!(capacity > 0, "queue capacity must be positive");
         MemoryController {
             banks: vec![Bank::new(); geometry.banks],
+            audit: TimingAudit::new(cfg!(debug_assertions), geometry.banks),
             geometry,
             timing,
             capacity,
@@ -160,6 +165,17 @@ impl MemoryController {
     /// Accumulated statistics.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Forces the activate/precharge timing sanitizer on or off (it
+    /// defaults to on in debug builds only).
+    pub fn set_invariant_checks(&mut self, enabled: bool) {
+        self.audit.set_enabled(enabled);
+    }
+
+    /// The command-timing sanitizer and its accumulated violations.
+    pub fn timing_audit(&self) -> &TimingAudit {
+        &self.audit
     }
 
     /// Enqueues a read request at time `now`.
@@ -199,8 +215,7 @@ impl MemoryController {
                 && self.banks[q.bank].would_hit(q.row)
                 && self.banks[q.bank].ready_at() <= now
         });
-        if let Some(idx) = cas_idx {
-            let q = self.queue.remove(idx).expect("index valid");
+        if let Some(q) = cas_idx.and_then(|idx| self.queue.remove(idx)) {
             let access = self.banks[q.bank].access(q.row, now, &self.timing);
             debug_assert!(access.row_hit);
             let transfer_start = access.data_ready.max(self.bus_free);
@@ -241,7 +256,9 @@ impl MemoryController {
                 q.caused_activation = true;
                 (q.row, q.bank)
             };
-            self.banks[bank].access(row, now, &self.timing);
+            let access = self.banks[bank].access(row, now, &self.timing);
+            debug_assert!(access.activated);
+            self.audit.on_activation(bank, access.act_at, &self.timing);
             self.stats.activations += 1;
             // Any other queued request to the same (bank, row) will now hit;
             // they stay Queued and are picked by rule 1 once the bank is
@@ -252,12 +269,12 @@ impl MemoryController {
     /// Pops completions whose data transfer finished at or before `now`.
     pub fn pop_completed(&mut self, now: TimePs) -> Vec<Completion> {
         let mut out = Vec::new();
-        while let Some(front) = self.completed.front() {
-            if front.done_at <= now {
-                out.push(self.completed.pop_front().unwrap());
-            } else {
-                break;
-            }
+        while self
+            .completed
+            .front()
+            .is_some_and(|front| front.done_at <= now)
+        {
+            out.extend(self.completed.pop_front());
         }
         out
     }
@@ -318,8 +335,11 @@ mod tests {
         let t = DramTiming::default();
         let min = t.cycles_ps(9 + 9 + 32);
         let max = t.cycles_ps(9 + 9 + 9 + 32 + 4);
-        assert!(done[0].done_at >= min && done[0].done_at <= max,
-            "done_at {} outside [{min}, {max}]", done[0].done_at);
+        assert!(
+            done[0].done_at >= min && done[0].done_at <= max,
+            "done_at {} outside [{min}, {max}]",
+            done[0].done_at
+        );
         assert_eq!(c.stats().activations, 1);
         assert_eq!(c.stats().row_misses, 1);
         assert_eq!(c.stats().bytes_transferred, 128);
@@ -352,7 +372,15 @@ mod tests {
         let row_bytes = c.geometry().row_bytes;
         let banks = c.geometry().banks as u64;
         // Open row 0 (bank 0).
-        c.try_push(Request { addr: 0, bytes: 128, tag: 0 }, 0).unwrap();
+        c.try_push(
+            Request {
+                addr: 0,
+                bytes: 128,
+                tag: 0,
+            },
+            0,
+        )
+        .unwrap();
         let (_, now) = run_until_idle(&mut c, 0);
         // Now queue: first a conflicting request to row 4 (same bank 0),
         // then a request to open row 0.
@@ -365,7 +393,15 @@ mod tests {
             now,
         )
         .unwrap();
-        c.try_push(Request { addr: 128, bytes: 128, tag: 2 }, now).unwrap();
+        c.try_push(
+            Request {
+                addr: 128,
+                bytes: 128,
+                tag: 2,
+            },
+            now,
+        )
+        .unwrap();
         let (done, _) = run_until_idle(&mut c, now);
         assert_eq!(done.len(), 2);
         // The row-0 hit (tag 2) finishes before the older conflict (tag 1).
@@ -377,17 +413,37 @@ mod tests {
 
     #[test]
     fn queue_capacity_enforced() {
-        let mut c = MemoryController::with_capacity(
-            DramGeometry::default(),
-            DramTiming::default(),
-            2,
-        );
+        let mut c =
+            MemoryController::with_capacity(DramGeometry::default(), DramTiming::default(), 2);
         assert_eq!(c.free_slots(), 2);
-        c.try_push(Request { addr: 0, bytes: 64, tag: 0 }, 0).unwrap();
-        c.try_push(Request { addr: 64, bytes: 64, tag: 1 }, 0).unwrap();
+        c.try_push(
+            Request {
+                addr: 0,
+                bytes: 64,
+                tag: 0,
+            },
+            0,
+        )
+        .unwrap();
+        c.try_push(
+            Request {
+                addr: 64,
+                bytes: 64,
+                tag: 1,
+            },
+            0,
+        )
+        .unwrap();
         assert_eq!(c.free_slots(), 0);
         assert_eq!(
-            c.try_push(Request { addr: 128, bytes: 64, tag: 2 }, 0),
+            c.try_push(
+                Request {
+                    addr: 128,
+                    bytes: 64,
+                    tag: 2
+                },
+                0
+            ),
             Err(QueueFull)
         );
     }
@@ -417,19 +473,18 @@ mod tests {
         let mut done = 0;
         while done < 8 {
             if pushed < 8
-                && c
-                    .try_push(
-                        Request {
-                            addr: pushed * 2048,
-                            bytes: 2048,
-                            tag: pushed,
-                        },
-                        now,
-                    )
-                    .is_ok()
-                {
-                    pushed += 1;
-                }
+                && c.try_push(
+                    Request {
+                        addr: pushed * 2048,
+                        bytes: 2048,
+                        tag: pushed,
+                    },
+                    now,
+                )
+                .is_ok()
+            {
+                pushed += 1;
+            }
             c.tick(now);
             now += c.timing().channel_period_ps;
             done += c.pop_completed(now).len();
@@ -459,7 +514,15 @@ mod tests {
             } else {
                 (row_stride + (i / 2) * 128, i)
             };
-            c.try_push(Request { addr, bytes: 128, tag }, now).unwrap();
+            c.try_push(
+                Request {
+                    addr,
+                    bytes: 128,
+                    tag,
+                },
+                now,
+            )
+            .unwrap();
             // Drain fully between pushes to defeat batching.
             loop {
                 c.tick(now);
@@ -490,7 +553,15 @@ mod tests {
             } else {
                 (row_stride + (i / 2) * 128, i)
             };
-            c.try_push(Request { addr, bytes: 128, tag }, 0).unwrap();
+            c.try_push(
+                Request {
+                    addr,
+                    bytes: 128,
+                    tag,
+                },
+                0,
+            )
+            .unwrap();
         }
         let (done, _) = run_until_idle(&mut c, 0);
         assert_eq!(done.len(), 8);
@@ -506,8 +577,24 @@ mod tests {
         // it.
         let mut c = ctrl();
         let row_stride = c.geometry().row_bytes * c.geometry().banks as u64;
-        c.try_push(Request { addr: 0, bytes: 64, tag: 0 }, 0).unwrap();
-        c.try_push(Request { addr: row_stride, bytes: 64, tag: 999 }, 0).unwrap();
+        c.try_push(
+            Request {
+                addr: 0,
+                bytes: 64,
+                tag: 0,
+            },
+            0,
+        )
+        .unwrap();
+        c.try_push(
+            Request {
+                addr: row_stride,
+                bytes: 64,
+                tag: 999,
+            },
+            0,
+        )
+        .unwrap();
         let mut now = 0;
         let mut pushed = 2u64;
         let mut victim_done_at = None;
@@ -515,7 +602,11 @@ mod tests {
             // Keep feeding row-0 hits.
             if c.free_slots() > 0 && pushed < 64 {
                 let _ = c.try_push(
-                    Request { addr: (pushed % 8) * 64, bytes: 64, tag: pushed },
+                    Request {
+                        addr: (pushed % 8) * 64,
+                        bytes: 64,
+                        tag: pushed,
+                    },
                     now,
                 );
                 pushed += 1;
@@ -540,7 +631,15 @@ mod tests {
     #[test]
     fn completions_respect_timestamps() {
         let mut c = ctrl();
-        c.try_push(Request { addr: 0, bytes: 2048, tag: 0 }, 0).unwrap();
+        c.try_push(
+            Request {
+                addr: 0,
+                bytes: 2048,
+                tag: 0,
+            },
+            0,
+        )
+        .unwrap();
         for k in 0..200 {
             c.tick(k * 833);
         }

@@ -22,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bank;
 pub mod controller;
 pub mod geometry;
 pub mod timing;
 
+pub use audit::TimingAudit;
 pub use bank::Bank;
 pub use controller::{Completion, MemoryController, ReqId, Request};
 pub use geometry::DramGeometry;

@@ -143,8 +143,7 @@ pub fn compute(
             let core = stats.instructions as f64 * p.mc_pipeline_op;
             let dram_pj = dram.bytes_transferred as f64 * 8.0 * p.mc_dram_pj_per_bit
                 + dram.activations as f64 * p.dram_activate_nj * 1000.0;
-            let static_pj =
-                lanes as f64 * p.mc_leak_mw_per_core * elapsed_ps as f64 * mw_ps_to_pj;
+            let static_pj = lanes as f64 * p.mc_leak_mw_per_core * elapsed_ps as f64 * mw_ps_to_pj;
             EnergyBreakdown {
                 core_pj: core,
                 dram_pj,
@@ -170,6 +169,7 @@ pub fn compute(
             core += (stats.l1_hits + stats.l1_misses) as f64 * p.l1;
             // Idle dynamic energy: lane-cycles without an executed
             // instruction.
+            // audit:allow(cast-truncation): energy accounting in f64; counts stay far below 2^53
             let lane_cycles = stats.compute_cycles.saturating_mul(lanes as u64) as f64;
             core += (lane_cycles - insts).max(0.0) * p.idle_lane;
 
@@ -261,8 +261,22 @@ mod tests {
     #[test]
     fn leakage_scales_with_time() {
         let p = EnergyParams::default();
-        let fast = compute(ArchKind::Ssmc, 32, &stats(0, 0, 0), &dram(0, 0), 1_000_000, &p);
-        let slow = compute(ArchKind::Ssmc, 32, &stats(0, 0, 0), &dram(0, 0), 2_000_000, &p);
+        let fast = compute(
+            ArchKind::Ssmc,
+            32,
+            &stats(0, 0, 0),
+            &dram(0, 0),
+            1_000_000,
+            &p,
+        );
+        let slow = compute(
+            ArchKind::Ssmc,
+            32,
+            &stats(0, 0, 0),
+            &dram(0, 0),
+            2_000_000,
+            &p,
+        );
         assert!((slow.static_pj - 2.0 * fast.static_pj).abs() < 1e-9);
     }
 

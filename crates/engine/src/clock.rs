@@ -12,6 +12,7 @@ pub type TimePs = u64;
 /// Picosecond period for a frequency in MHz (rounded to the nearest ps).
 pub fn period_ps_for_mhz(mhz: f64) -> TimePs {
     assert!(mhz > 0.0);
+    // audit:allow(cast-truncation): rounded before the cast; periods are tiny positive integers
     (1.0e6 / mhz).round() as TimePs
 }
 

@@ -110,7 +110,6 @@ mod tests {
     use super::*;
     use crate::context::LaunchParams;
     use millipede_isa::assemble;
-    
 
     #[test]
     fn counts_dynamic_events() {

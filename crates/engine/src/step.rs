@@ -95,7 +95,10 @@ pub struct EffectiveAccess {
 pub fn effective_access(ctx: &ThreadCtx, program: &Program) -> Option<EffectiveAccess> {
     match *program.fetch(ctx.pc) {
         Instr::Ld {
-            addr, offset, space, ..
+            addr,
+            offset,
+            space,
+            ..
         } => Some(EffectiveAccess {
             space,
             addr: (ctx.read_reg(addr) as i64 + offset as i64) as u64,
@@ -114,7 +117,11 @@ pub fn effective_access(ctx: &ThreadCtx, program: &Program) -> Option<EffectiveA
 ///
 /// Addresses are computed as `reg + offset` in 64-bit space (registers are
 /// zero-extended), so kernels address up to 4 GB of input.
-pub fn step(ctx: &mut ThreadCtx, program: &Program, input: &InputImage) -> Result<StepEffect, Trap> {
+pub fn step(
+    ctx: &mut ThreadCtx,
+    program: &Program,
+    input: &InputImage,
+) -> Result<StepEffect, Trap> {
     if ctx.halted {
         return Err(Trap::SteppedHalted);
     }
@@ -226,7 +233,11 @@ mod tests {
     fn arithmetic_and_pc_advance() {
         let mut c = ctx();
         let input = InputImage::new(vec![]);
-        run_to_halt("li r1, 5\naddi r2, r1, 3\nmul r3, r1, r2\nhalt\n", &mut c, &input);
+        run_to_halt(
+            "li r1, 5\naddi r2, r1, 3\nmul r3, r1, r2\nhalt\n",
+            &mut c,
+            &input,
+        );
         assert_eq!(c.read_reg(r(3)), 40);
         assert!(c.halted);
     }
@@ -262,10 +273,7 @@ mod tests {
         let mut c = ctx();
         c.write_reg(r(1), 400);
         let input = InputImage::new(vec![1, 2]);
-        assert_eq!(
-            step(&mut c, &p, &input),
-            Err(Trap::Input { addr: 400 })
-        );
+        assert_eq!(step(&mut c, &p, &input), Err(Trap::Input { addr: 400 }));
     }
 
     #[test]
@@ -328,11 +336,15 @@ mod tests {
 
     #[test]
     fn barrier_is_a_functional_noop_that_advances_pc() {
-        let p = assemble("t", "li r1, 7
+        let p = assemble(
+            "t",
+            "li r1, 7
 bar
 addi r1, r1, 1
 halt
-").unwrap();
+",
+        )
+        .unwrap();
         let mut c = ctx();
         let input = InputImage::new(vec![]);
         step(&mut c, &p, &input).unwrap();

@@ -71,7 +71,11 @@ struct Sm {
 ///
 /// Panics on kernel traps or simulated deadlock.
 pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
-    assert_eq!(cfg.lanes % cfg.warp_width, 0, "lanes must divide into warps");
+    assert_eq!(
+        cfg.lanes % cfg.warp_width,
+        0,
+        "lanes must divide into warps"
+    );
     let layout = workload.dataset.layout;
     let grid = if cfg.wide_columns {
         ThreadGrid::block_columns(cfg.lanes, cfg.contexts)
@@ -106,6 +110,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                     Some(workload.make_ctx(&grid, lane, warp_slot));
             }
         }
+        // audit:allow(unwrap-in-hot-path): thread_index is a bijection over the grid
         slots.into_iter().map(|s| s.expect("dense index")).collect()
     };
     // Default lookahead: a quarter of the L1. Running the stream to the
@@ -158,8 +163,19 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                 for cluster in 0..cfg.clusters() {
                     stats.issue_slots += 1;
                     if cluster_tick(
-                        cluster, cycle, now, cfg, &program, &image, &rm, row_bytes,
-                        &mut sm, pbuf.as_mut(), &mut mc, &mut stats, &mut live_warps,
+                        cluster,
+                        cycle,
+                        now,
+                        cfg,
+                        &program,
+                        &image,
+                        &rm,
+                        row_bytes,
+                        &mut sm,
+                        pbuf.as_mut(),
+                        &mut mc,
+                        &mut stats,
+                        &mut live_warps,
                     ) {
                         any_issued = true;
                     } else {
@@ -183,7 +199,10 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                         }
                     } else {
                         let slot = (comp.tag - TAG_PREFETCH_BASE) as usize;
-                        pbuf.as_mut().expect("row fill without pbuf").fill_complete(slot);
+                        pbuf.as_mut()
+                            // audit:allow(unwrap-in-hot-path): prefetch tags are only issued when a pbuf exists
+                            .expect("row fill without pbuf")
+                            .fill_complete(slot);
                     }
                 }
             }
@@ -197,13 +216,13 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     if let Some(pbuf) = &pbuf {
         stats.flow_blocks = pbuf.stats().flow_blocks;
         stats.premature_evictions = pbuf.stats().premature_evictions;
+        pbuf.audit().assert_clean("VWS-row prefetch buffer");
     }
+    mc.timing_audit().assert_clean("GPGPU memory controller");
 
     // Reduce in the grid's (corelet=lane, context=warp-slot) order.
     let states: Vec<&[u32]> = (0..cfg.lanes)
-        .flat_map(|lane| {
-            (0..cfg.contexts).map(move |x| grid.thread_index(lane, x))
-        })
+        .flat_map(|lane| (0..cfg.contexts).map(move |x| grid.thread_index(lane, x)))
         .map(|t| sm.threads[t].local.words())
         .collect();
     let output = workload.reduce(&states);
@@ -251,9 +270,7 @@ fn pump_blocks(
     cfg: &GpgpuConfig,
     stats: &mut CoreStats,
 ) {
-    let limit = sm
-        .demand_block
-        .saturating_add(sm.pf_degree * cfg.l1_block);
+    let limit = sm.demand_block.saturating_add(sm.pf_degree * cfg.l1_block);
     while sm.pf_next < sm.pf_end && sm.pf_next <= limit {
         let block = sm.pf_next;
         if sm.l1.contains(block) || sm.mshr.pending(block) {
@@ -306,8 +323,20 @@ fn cluster_tick(
         };
         debug_assert_ne!(live, 0);
         if try_issue_warp(
-            wi, pc, live, cycle, now, cfg, program, image, rm, row_bytes, sm,
-            pbuf.as_deref_mut(), mc, stats,
+            wi,
+            pc,
+            live,
+            cycle,
+            now,
+            cfg,
+            program,
+            image,
+            rm,
+            row_bytes,
+            sm,
+            pbuf.as_deref_mut(),
+            mc,
+            stats,
         ) {
             if sm.warps[wi].done() {
                 *live_warps -= 1;
@@ -340,9 +369,10 @@ fn try_issue_warp(
 ) -> bool {
     let instr = *program.fetch(pc);
     let lanes: Vec<usize> = sm.warps[wi].threads_of(live).collect();
-    debug_assert!(lanes
-        .iter()
-        .all(|&t| sm.threads[t].pc == pc), "warp threads out of sync");
+    debug_assert!(
+        lanes.iter().all(|&t| sm.threads[t].pc == pc),
+        "warp threads out of sync"
+    );
 
     match instr {
         Instr::Ld {
@@ -351,6 +381,7 @@ fn try_issue_warp(
         } => {
             let addrs: Vec<u64> = lanes
                 .iter()
+                // audit:allow(unwrap-in-hot-path): lanes were selected at a memory access
                 .map(|&t| effective_access(&sm.threads[t], program).unwrap().addr)
                 .collect();
             if sm.lsu_busy_until > cycle {
@@ -380,9 +411,14 @@ fn try_issue_warp(
                 }
             } else {
                 let blocks = coalesce_blocks(&addrs, cfg.l1_block);
-                sm.demand_block = sm.demand_block.max(blocks.iter().copied().max().unwrap());
-                let missing: Vec<u64> =
-                    blocks.iter().copied().filter(|&b| !sm.l1.access(b)).collect();
+                if let Some(far) = blocks.iter().copied().max() {
+                    sm.demand_block = sm.demand_block.max(far);
+                }
+                let missing: Vec<u64> = blocks
+                    .iter()
+                    .copied()
+                    .filter(|&b| !sm.l1.access(b))
+                    .collect();
                 if missing.is_empty() {
                     // Each additional coalesced transaction occupies the
                     // shared L1 port for another cycle — the cost of an
@@ -425,6 +461,7 @@ fn try_issue_warp(
             let bank_addrs: Vec<u64> = lanes
                 .iter()
                 .map(|&t| {
+                    // audit:allow(unwrap-in-hot-path): lanes were selected at a memory access
                     let a = effective_access(&sm.threads[t], program).unwrap().addr;
                     (a / 4) * (cfg.shared_banks as u64 * 4)
                         + (t as u64 % cfg.shared_banks as u64) * 4
@@ -468,13 +505,7 @@ fn try_issue_warp(
                 sm.warps[wi].advance_to(pc + 1);
             } else {
                 stats.divergent_branches += 1;
-                sm.warps[wi].diverge(
-                    taken_mask,
-                    target,
-                    nt_mask,
-                    pc + 1,
-                    rm.reconvergence_pc(pc),
-                );
+                sm.warps[wi].diverge(taken_mask, target, nt_mask, pc + 1, rm.reconvergence_pc(pc));
             }
             true
         }
@@ -520,6 +551,7 @@ fn exec_lanes(
     stats.issues += 1;
     stats.lane_idle += (cfg.warp_width - lanes.len()) as u64;
     if any_live {
+        // audit:allow(unwrap-in-hot-path): any_live guarantees a surviving pc
         sm.warps[wi].advance_to(next_pc.expect("live thread has a pc"));
     }
 }
@@ -537,7 +569,10 @@ mod tests {
     fn gpgpu_count_runs_and_validates() {
         let r = run(&small(Benchmark::Count), &GpgpuConfig::gpgpu());
         assert!(r.output_ok);
-        assert!(r.stats.divergent_branches > 0, "count's 75/25 branch diverges");
+        assert!(
+            r.stats.divergent_branches > 0,
+            "count's 75/25 branch diverges"
+        );
         assert!(r.stats.lane_idle > 0);
     }
 
@@ -611,7 +646,10 @@ mod tests {
         // passes == warp-level accesses means one pass each (no conflicts);
         // recompute by running VWS too and checking proportionality.
         let v = run(&small(Benchmark::NBayes), &GpgpuConfig::vws());
-        assert!(v.stats.shared_passes >= shared_accesses, "4-wide issues more, narrower accesses");
+        assert!(
+            v.stats.shared_passes >= shared_accesses,
+            "4-wide issues more, narrower accesses"
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn probe_workload(workload: &Workload) -> Workload {
     } else {
         workload.shard(chunks)
     };
+    // audit:allow(unwrap-in-hot-path): shard() yields one shard per corelet, never zero
     shards.into_iter().next().expect("at least one shard")
 }
 
@@ -72,11 +73,7 @@ fn edp_of(workload: &Workload, cfg: &GpgpuConfig, energy: &EnergyParams) -> (f64
 
 /// Probes both widths on a prefix of `workload` and returns the chosen
 /// width.
-pub fn choose_width(
-    workload: &Workload,
-    base: &GpgpuConfig,
-    energy: &EnergyParams,
-) -> VwsChoice {
+pub fn choose_width(workload: &Workload, base: &GpgpuConfig, energy: &EnergyParams) -> VwsChoice {
     let probe = probe_workload(workload);
     let narrow_cfg = GpgpuConfig {
         warp_width: NARROW,
@@ -88,8 +85,8 @@ pub fn choose_width(
     };
     let (narrow_edp, narrow_run) = edp_of(&probe, &narrow_cfg, energy);
     let (wide_edp, wide_run) = edp_of(&probe, &wide_cfg, energy);
-    let divergence_pays = (narrow_run.elapsed_ps as f64)
-        < wide_run.elapsed_ps as f64 * (1.0 - PERF_MARGIN);
+    let divergence_pays =
+        (narrow_run.elapsed_ps as f64) < wide_run.elapsed_ps as f64 * (1.0 - PERF_MARGIN);
     VwsChoice {
         width: if divergence_pays { NARROW } else { base.lanes },
         narrow_ps: narrow_run.elapsed_ps,

@@ -41,7 +41,11 @@ impl Warp {
     /// PC 0.
     pub fn new(first_thread: usize, width: usize) -> Warp {
         assert!((1..=64).contains(&width));
-        let full = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let full = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         Warp {
             first_thread,
             width,
@@ -81,7 +85,7 @@ impl Warp {
 
     /// Advances the current path's PC (uniform execution).
     pub fn advance_to(&mut self, pc: u32) {
-        let top = self.stack.last_mut().expect("warp not done");
+        let top = self.stack.last_mut().expect("warp not done"); // audit:allow(unwrap-in-hot-path): documented precondition
         top.pc = pc;
     }
 
@@ -107,9 +111,9 @@ impl Warp {
         debug_assert_ne!(taken_mask, 0);
         debug_assert_ne!(fallthrough_mask, 0);
         debug_assert_eq!(taken_mask & fallthrough_mask, 0);
-        let top = self.stack.last_mut().expect("warp not done");
-        // The current frame becomes the reconvergence frame. When the
-        // paths never rejoin (reconv None) it dies once both children pop.
+        let top = self.stack.last_mut().expect("warp not done"); // audit:allow(unwrap-in-hot-path): documented precondition
+                                                                 // The current frame becomes the reconvergence frame. When the
+                                                                 // paths never rejoin (reconv None) it dies once both children pop.
         match reconv {
             Some(r) => top.pc = r,
             None => top.mask = 0,

@@ -26,7 +26,7 @@
 use crate::instr::{AddrSpace, AluOp, CmpOp, FAluOp, Instr};
 use crate::program::{Program, ProgramError};
 use crate::reg::Reg;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -140,7 +140,10 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
         .find('(')
         .ok_or_else(|| parse_err(line, format!("expected `offset(reg)`, got `{tok}`")))?;
     if !tok.ends_with(')') {
-        return Err(parse_err(line, format!("expected `offset(reg)`, got `{tok}`")));
+        return Err(parse_err(
+            line,
+            format!("expected `offset(reg)`, got `{tok}`"),
+        ));
     }
     let off_str = &tok[..open];
     let reg_str = &tok[open + 1..tok.len() - 1];
@@ -183,7 +186,7 @@ enum PendingTarget {
 /// ```
 pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
     // Pass 1: collect labels and raw instruction lines.
-    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
     let mut lines: Vec<(usize, String)> = Vec::new(); // (source line, text)
     let mut pc: u32 = 0;
     for (idx, raw) in source.lines().enumerate() {
@@ -310,7 +313,12 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
                 let a = parse_reg(ops[0], lineno)?;
                 let b = parse_reg(ops[1], lineno)?;
                 match target(ops[2])? {
-                    PendingTarget::Resolved(t) => Instr::Br { cmp, a, b, target: t },
+                    PendingTarget::Resolved(t) => Instr::Br {
+                        cmp,
+                        a,
+                        b,
+                        target: t,
+                    },
                     PendingTarget::Named(l) => {
                         fixups.push((instrs.len(), lineno, l));
                         Instr::Br {
@@ -343,8 +351,9 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
             m if m.ends_with('i') && alu_op(&m[..m.len() - 1]).is_some() => {
                 expect(3)?;
                 let v = parse_int(ops[2], lineno)?;
-                let imm = i32::try_from(v)
-                    .map_err(|_| parse_err(lineno, format!("immediate `{}` out of range", ops[2])))?;
+                let imm = i32::try_from(v).map_err(|_| {
+                    parse_err(lineno, format!("immediate `{}` out of range", ops[2]))
+                })?;
                 Instr::AluI {
                     op: alu_op(&m[..m.len() - 1]).unwrap(),
                     dst: parse_reg(ops[0], lineno)?,
@@ -398,7 +407,11 @@ pub fn disassemble(program: &Program) -> String {
                 writeln!(out, "    {:<8} {dst}, {a}, {b}", op.mnemonic())
             }
             Instr::AluI { op, dst, a, imm } => {
-                writeln!(out, "    {:<8} {dst}, {a}, {imm}", format!("{}i", op.mnemonic()))
+                writeln!(
+                    out,
+                    "    {:<8} {dst}, {a}, {imm}",
+                    format!("{}i", op.mnemonic())
+                )
             }
             Instr::FAlu { op, dst, a, b } => {
                 writeln!(out, "    {:<8} {dst}, {a}, {b}", op.mnemonic())
@@ -411,7 +424,11 @@ pub fn disassemble(program: &Program) -> String {
                 addr,
                 offset,
                 space,
-            } => writeln!(out, "    {:<8} {dst}, {offset}({addr})", format!("ld.{space}")),
+            } => writeln!(
+                out,
+                "    {:<8} {dst}, {offset}({addr})",
+                format!("ld.{space}")
+            ),
             Instr::St { src, addr, offset } => {
                 writeln!(out, "    {:<8} {src}, {offset}({addr})", "st.local")
             }
@@ -470,11 +487,7 @@ mod tests {
 
     #[test]
     fn hex_negative_and_float_immediates() {
-        let p = assemble(
-            "imm",
-            "li r1, 0x10\nli r2, -3\nli r3, 2.5\nhalt\n",
-        )
-        .unwrap();
+        let p = assemble("imm", "li r1, 0x10\nli r2, -3\nli r3, 2.5\nhalt\n").unwrap();
         assert_eq!(*p.fetch(0), Instr::Li { dst: r(1), imm: 16 });
         assert_eq!(
             *p.fetch(1),
@@ -605,9 +618,13 @@ mod tests {
 
     #[test]
     fn barrier_assembles_and_round_trips() {
-        let p = assemble("b", "bar
+        let p = assemble(
+            "b",
+            "bar
 halt
-").unwrap();
+",
+        )
+        .unwrap();
         assert_eq!(*p.fetch(0), Instr::Bar);
         let q = assemble("b", &disassemble(&p)).unwrap();
         assert_eq!(p.instrs(), q.instrs());

@@ -30,8 +30,8 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::UnboundLabel(l) => write!(f, "label {:?} was never bound", l),
-            BuildError::Rebound(l) => write!(f, "label {:?} bound twice", l),
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            BuildError::Rebound(l) => write!(f, "label {l:?} bound twice"),
             BuildError::Program(e) => write!(f, "program validation failed: {e}"),
         }
     }
@@ -66,6 +66,7 @@ impl From<ProgramError> for BuildError {
 /// let program = b.build().unwrap();
 /// assert_eq!(program.len(), 6);
 /// ```
+#[derive(Debug)]
 pub struct ProgramBuilder {
     name: String,
     instrs: Vec<Instr>,

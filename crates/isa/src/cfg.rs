@@ -16,7 +16,7 @@
 
 use crate::instr::Instr;
 use crate::program::Program;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A basic block: a maximal straight-line instruction range.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,10 +61,9 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Instr::Halt
-                    if pc + 1 < n => {
-                        leader[pc + 1] = true;
-                    }
+                Instr::Halt if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
                 _ => {}
             }
         }
@@ -194,17 +193,18 @@ impl Cfg {
         // Cooper–Harvey–Kennedy.
         let mut idom: Vec<Option<usize>> = vec![None; n + 1];
         idom[exit] = Some(exit);
-        let intersect = |idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize| {
-            while a != b {
-                while rpo_index[a] > rpo_index[b] {
-                    a = idom[a].unwrap();
+        let intersect =
+            |idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize| {
+                while a != b {
+                    while rpo_index[a] > rpo_index[b] {
+                        a = idom[a].unwrap();
+                    }
+                    while rpo_index[b] > rpo_index[a] {
+                        b = idom[b].unwrap();
+                    }
                 }
-                while rpo_index[b] > rpo_index[a] {
-                    b = idom[b].unwrap();
-                }
-            }
-            a
-        };
+                a
+            };
         let mut changed = true;
         while changed {
             changed = false;
@@ -243,7 +243,7 @@ impl Cfg {
 /// `None` means the divergent paths only rejoin when the thread halts.
 #[derive(Debug, Clone)]
 pub struct ReconvergenceMap {
-    map: HashMap<u32, Option<u32>>,
+    map: BTreeMap<u32, Option<u32>>,
 }
 
 impl ReconvergenceMap {
@@ -251,7 +251,7 @@ impl ReconvergenceMap {
     pub fn compute(program: &Program) -> ReconvergenceMap {
         let cfg = Cfg::build(program);
         let ipdom = cfg.immediate_post_dominators();
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         for (pc, instr) in program.instrs().iter().enumerate() {
             if instr.is_branch() {
                 let block = cfg.block_of(pc as u32);

@@ -101,10 +101,9 @@ impl Program {
         let len = instrs.len() as u32;
         for (pc, instr) in instrs.iter().enumerate() {
             match *instr {
-                Instr::Br { target, .. } | Instr::Jmp { target }
-                    if target >= len => {
-                        return Err(ProgramError::BadTarget { pc, target });
-                    }
+                Instr::Br { target, .. } | Instr::Jmp { target } if target >= len => {
+                    return Err(ProgramError::BadTarget { pc, target });
+                }
                 _ => {}
             }
         }

@@ -31,10 +31,7 @@ impl Dataset {
 
     /// Generates records with a per-record closure `gen(record_index) ->
     /// fields`, convenient for the workload generators.
-    pub fn generate(
-        layout: InterleavedLayout,
-        mut gen: impl FnMut(usize) -> Vec<u32>,
-    ) -> Dataset {
+    pub fn generate(layout: InterleavedLayout, mut gen: impl FnMut(usize) -> Vec<u32>) -> Dataset {
         let records: Vec<Vec<u32>> = (0..layout.num_records()).map(&mut gen).collect();
         Dataset::new(layout, records)
     }

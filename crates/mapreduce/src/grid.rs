@@ -113,9 +113,7 @@ impl ThreadGrid {
     /// adjacent, which is what makes its accesses contiguous).
     pub fn thread_index(&self, corelet: usize, context: usize) -> usize {
         match self.mode {
-            AssignMode::Slab | AssignMode::BlockColumns => {
-                corelet * self.contexts + context
-            }
+            AssignMode::Slab | AssignMode::BlockColumns => corelet * self.contexts + context,
             AssignMode::WordInterleaved => context * self.corelets + corelet,
         }
     }
@@ -162,9 +160,7 @@ impl ThreadGrid {
     ) -> u64 {
         debug_assert!(corelet < self.corelets && context < self.contexts);
         match self.mode {
-            AssignMode::Slab => {
-                corelet as u64 * self.slab_bytes(layout) + context as u64 * 4
-            }
+            AssignMode::Slab => corelet as u64 * self.slab_bytes(layout) + context as u64 * 4,
             AssignMode::WordInterleaved => self.thread_index(corelet, context) as u64 * 4,
             AssignMode::BlockColumns => {
                 let n = self.records_per_thread_per_chunk(layout) as u64;
@@ -193,10 +189,7 @@ impl ThreadGrid {
         let rpc = layout.row_words();
         let rptc = self.records_per_thread_per_chunk(layout);
         let (base0, stride) = match self.mode {
-            AssignMode::Slab => (
-                corelet * self.slab_records(layout) + context,
-                self.contexts,
-            ),
+            AssignMode::Slab => (corelet * self.slab_records(layout) + context, self.contexts),
             AssignMode::WordInterleaved => {
                 (self.thread_index(corelet, context), self.num_threads())
             }
@@ -399,7 +392,10 @@ mod tests {
         assert_eq!(g.record_stride_bytes(), 4);
         let recs = g.records_of_thread(&l, 5, 2);
         // 4 contiguous records per chunk.
-        assert_eq!(&recs[..4], &[recs[0], recs[0] + 1, recs[0] + 2, recs[0] + 3]);
+        assert_eq!(
+            &recs[..4],
+            &[recs[0], recs[0] + 1, recs[0] + 2, recs[0] + 3]
+        );
         // A corelet's threads still cover its usual 64 B slab.
         let mut slab: Vec<usize> = (0..4)
             .flat_map(|x| g.records_of_thread(&l, 5, x).into_iter().take(4))
@@ -414,7 +410,9 @@ mod tests {
         // n*4 = 16 B — spanning four 128 B blocks instead of one.
         let g = ThreadGrid::block_columns(32, 4);
         let l = layout(1, 1);
-        let offs: Vec<u64> = (0..32).map(|lane| g.lane_byte_offset(&l, lane, 0)).collect();
+        let offs: Vec<u64> = (0..32)
+            .map(|lane| g.lane_byte_offset(&l, lane, 0))
+            .collect();
         for w in offs.windows(2) {
             assert_eq!(w[1] - w[0], 64, "corelet-major spacing");
         }

@@ -23,6 +23,8 @@ pub mod grid;
 pub mod layout;
 
 pub use dataset::Dataset;
-pub use grid::{AssignMode, ThreadGrid, ABI_CHUNKS, ABI_CHUNK_STRIDE, ABI_FIELD_STRIDE, ABI_LANE_OFFSET,
-    ABI_REC_STRIDE, ABI_RPTC};
+pub use grid::{
+    AssignMode, ThreadGrid, ABI_CHUNKS, ABI_CHUNK_STRIDE, ABI_FIELD_STRIDE, ABI_LANE_OFFSET,
+    ABI_REC_STRIDE, ABI_RPTC,
+};
 pub use layout::InterleavedLayout;

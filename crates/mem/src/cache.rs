@@ -153,7 +153,7 @@ impl Cache {
         let victim = self.sets[set]
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("non-zero associativity");
+            .expect("non-zero associativity"); // audit:allow(unwrap-in-hot-path): associativity is validated > 0 at construction
         let evicted = victim.valid.then_some(victim.tag);
         if evicted.is_some() {
             self.stats.evictions += 1;

@@ -5,7 +5,7 @@
 //! trigger bits ("The PFT bit prevents later demand accesses from triggering
 //! redundant prefetches, similar to traditional MSHRs", §IV-C).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of allocating a miss in the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +22,7 @@ pub enum MshrOutcome {
 /// (thread/context identifiers chosen by the architecture model).
 #[derive(Debug, Clone)]
 pub struct Mshr {
-    entries: HashMap<u64, Vec<u64>>,
+    entries: BTreeMap<u64, Vec<u64>>,
     capacity: usize,
 }
 
@@ -31,7 +31,7 @@ impl Mshr {
     pub fn new(capacity: usize) -> Mshr {
         assert!(capacity > 0);
         Mshr {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             capacity,
         }
     }
@@ -117,7 +117,7 @@ mod tests {
         let mut m = Mshr::new(2);
         assert!(m.allocate_prefetch(0));
         assert!(!m.allocate_prefetch(0)); // duplicate
-        // A demand miss on a prefetched block piggybacks.
+                                          // A demand miss on a prefetched block piggybacks.
         assert_eq!(m.allocate(0, 9), MshrOutcome::Secondary);
         assert_eq!(m.complete(0), vec![9]);
     }

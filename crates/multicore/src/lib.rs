@@ -86,8 +86,13 @@ pub fn run(workload: &Workload, cfg: &MulticoreConfig) -> NodeResult {
     for corelet in 0..grid.corelets {
         for context in 0..grid.contexts {
             let mut ctx = workload.make_ctx(&grid, corelet, context);
-            let s = run_functional(&mut ctx, &workload.program, &workload.dataset.image, DEFAULT_STEP_LIMIT)
-                .expect("kernel must not trap");
+            let s = run_functional(
+                &mut ctx,
+                &workload.program,
+                &workload.dataset.image,
+                DEFAULT_STEP_LIMIT,
+            )
+            .expect("kernel must not trap"); // audit:allow(unwrap-in-hot-path): a trapping kernel is a workload bug; fail loudly
             totals.merge(&s);
             ctxs.push(ctx);
         }
@@ -110,7 +115,9 @@ pub fn run(workload: &Workload, cfg: &MulticoreConfig) -> NodeResult {
         input_loads: totals.input_words,
         local_loads: totals.local_loads,
         local_stores: totals.local_stores,
+        // audit:allow(cast-truncation): analytic model; sub-cycle truncation is immaterial
         compute_cycles: (elapsed_ns * cfg.clock_mhz / 1000.0) as u64,
+        // audit:allow(cast-truncation): analytic model; sub-cycle truncation is immaterial
         issue_slots: ((elapsed_ns * cfg.clock_mhz / 1000.0) as u64)
             .saturating_mul(cfg.cores as u64),
         ..Default::default()
@@ -127,6 +134,7 @@ pub fn run(workload: &Workload, cfg: &MulticoreConfig) -> NodeResult {
     NodeResult {
         stats,
         dram,
+        // audit:allow(cast-truncation): sub-picosecond truncation of an analytic runtime
         elapsed_ps: (elapsed_ns * 1000.0) as u64,
         output,
         output_ok,

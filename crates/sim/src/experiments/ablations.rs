@@ -176,8 +176,7 @@ pub fn channel_width(cfg: &SimConfig, widths: &[u32]) -> Vec<(u32, NodeResult, N
                 timing,
                 ..MillipedeConfig::default()
             };
-            let count =
-                Workload::build(Benchmark::Count, cfg.num_chunks, cfg.row_bytes, cfg.seed);
+            let count = Workload::build(Benchmark::Count, cfg.num_chunks, cfg.row_bytes, cfg.seed);
             let gda = Workload::build(Benchmark::Gda, cfg.num_chunks, cfg.row_bytes, cfg.seed);
             let rc = millipede_core::run(&count, &mk);
             let rg = millipede_core::run(&gda, &mk);
@@ -227,7 +226,12 @@ pub fn column_width(cfg: &SimConfig, benches: &[Benchmark]) -> Vec<ColumnRow> {
             let millipede_narrow = millipede_core::run(&w, &m);
             m.wide_columns = true;
             let millipede_wide = millipede_core::run(&w, &m);
-            for r in [&gpgpu_narrow, &gpgpu_wide, &millipede_narrow, &millipede_wide] {
+            for r in [
+                &gpgpu_narrow,
+                &gpgpu_wide,
+                &millipede_narrow,
+                &millipede_wide,
+            ] {
                 assert!(r.output_ok, "{}", bench.name());
             }
             ColumnRow {
@@ -372,8 +376,7 @@ mod tests {
         let wide_txns = r.gpgpu_wide.stats.l1_hits + r.gpgpu_wide.stats.l1_misses;
         assert!(wide_txns >= 3 * narrow_txns, "{wide_txns} vs {narrow_txns}");
         assert!(r.gpgpu_wide.elapsed_ps >= r.gpgpu_narrow.elapsed_ps);
-        let m_ratio =
-            r.millipede_wide.elapsed_ps as f64 / r.millipede_narrow.elapsed_ps as f64;
+        let m_ratio = r.millipede_wide.elapsed_ps as f64 / r.millipede_narrow.elapsed_ps as f64;
         assert!((0.95..1.05).contains(&m_ratio), "Millipede ratio {m_ratio}");
     }
 

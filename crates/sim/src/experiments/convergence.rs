@@ -47,7 +47,7 @@ pub fn run(cfg: &SimConfig) -> Convergence {
             Row {
                 bench,
                 adjustments: trace.len(),
-                last_adjust_cycle: trace.last().map(|&(c, _)| c).unwrap_or(0),
+                last_adjust_cycle: trace.last().map_or(0, |&(c, _)| c),
                 total_cycles: r.node.stats.compute_cycles,
                 final_mhz: r.node.stats.rate_match_final_mhz,
                 min_mhz: trace

@@ -128,7 +128,12 @@ mod tests {
                 r.bench.name(),
                 r.energy_ratio
             );
-            assert!(r.edp_ratio > 10.0, "{}: edp {}", r.bench.name(), r.edp_ratio);
+            assert!(
+                r.edp_ratio > 10.0,
+                "{}: edp {}",
+                r.bench.name(),
+                r.edp_ratio
+            );
         }
     }
 }

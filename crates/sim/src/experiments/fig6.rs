@@ -36,7 +36,7 @@ pub fn run(cfg: &SimConfig) -> Fig6 {
             .flat_map(|&b| ARCHS.iter().map(move |&a| (a, b)))
             .collect();
         let flat = run_many(&pairs, &scaled);
-        runs.push(flat.chunks(ARCHS.len()).map(|c| c.to_vec()).collect());
+        runs.push(flat.chunks(ARCHS.len()).map(<[_]>::to_vec).collect());
     }
     Fig6 { runs }
 }

@@ -31,7 +31,9 @@ mod tests {
     #[test]
     fn renders_all_eight_rows() {
         let s = super::render();
-        for name in ["count", "sample", "variance", "nbayes", "classify", "kmeans", "pca", "gda"] {
+        for name in [
+            "count", "sample", "variance", "nbayes", "classify", "kmeans", "pca", "gda",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

@@ -9,7 +9,11 @@ pub fn render(cfg: &SimConfig) -> String {
     let t3 = cfg.timing();
     let g = cfg.geometry();
     let mut t = Table::new(vec!["Parameter", "Value", "Paper"]);
-    t.row(vec!["# processors / SMs simulated".into(), "1".to_string(), "1 of 32".into()]);
+    t.row(vec![
+        "# processors / SMs simulated".into(),
+        "1".to_string(),
+        "1 of 32".into(),
+    ]);
     t.row(vec![
         "Compute clock".into(),
         "700 MHz".to_string(),
@@ -25,7 +29,11 @@ pub fn render(cfg: &SimConfig) -> String {
         cfg.contexts.to_string(),
         "4".into(),
     ]);
-    t.row(vec!["# registers per corelet/lane/core".into(), "32".to_string(), "32".into()]);
+    t.row(vec![
+        "# registers per corelet/lane/core".into(),
+        "32".to_string(),
+        "32".into(),
+    ]);
     t.row(vec![
         "Local memory per corelet".into(),
         "4 KB".to_string(),

@@ -22,6 +22,7 @@
 
 pub mod arch;
 pub mod config;
+pub mod determinism;
 pub mod experiments;
 pub mod report;
 pub mod runner;
@@ -29,5 +30,6 @@ pub mod system;
 
 pub use arch::Arch;
 pub use config::SimConfig;
+pub use determinism::{check_determinism, digest_run, Divergence, Fnv1a};
 pub use runner::{run_one, RunResult};
 pub use system::{run_system, SystemResult};

@@ -66,7 +66,10 @@ pub fn run_many(pairs: &[(Arch, Benchmark)], cfg: &SimConfig) -> Vec<RunResult> 
             .iter()
             .map(|&(arch, bench)| scope.spawn(move || run_one(arch, bench, cfg)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
     })
 }
 
@@ -79,7 +82,7 @@ pub fn sweep(archs: &[Arch], cfg: &SimConfig) -> Vec<Vec<RunResult>> {
         .flat_map(|&b| archs.iter().map(move |&a| (a, b)))
         .collect();
     let flat = run_many(&pairs, cfg);
-    flat.chunks(archs.len()).map(|c| c.to_vec()).collect()
+    flat.chunks(archs.len()).map(<[_]>::to_vec).collect()
 }
 
 #[cfg(test)]

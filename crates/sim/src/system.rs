@@ -76,7 +76,8 @@ pub fn run_system(
     };
     for n in &nodes {
         dram.merge(&n.dram);
-        let e = millipede_energy::compute(kind, lanes, &n.stats, &n.dram, n.elapsed_ps, &cfg.energy);
+        let e =
+            millipede_energy::compute(kind, lanes, &n.stats, &n.dram, n.elapsed_ps, &cfg.energy);
         energy.core_pj += e.core_pj;
         energy.dram_pj += e.dram_pj;
         energy.static_pj += e.static_pj;

@@ -23,12 +23,12 @@
 #![warn(missing_docs)]
 
 use millipede_core::NodeResult;
+use millipede_dram::{DramGeometry, DramTiming};
 use millipede_dram::{MemoryController, Request, TimePs};
 use millipede_engine::step::effective_access;
 use millipede_engine::{
     period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
 };
-use millipede_dram::{DramGeometry, DramTiming};
 use millipede_isa::AddrSpace;
 use millipede_mapreduce::ThreadGrid;
 use millipede_mem::{Cache, Mshr};
@@ -203,8 +203,17 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                 for c in 0..cfg.cores {
                     stats.issue_slots += 1;
                     if core_tick(
-                        c, now, cfg, &program, &image, row_bytes, slab_bytes, &mut cores,
-                        &mut mc, &mut stats, &mut halted,
+                        c,
+                        now,
+                        cfg,
+                        &program,
+                        &image,
+                        row_bytes,
+                        slab_bytes,
+                        &mut cores,
+                        &mut mc,
+                        &mut stats,
+                        &mut halted,
                     ) {
                         any_issued = true;
                     } else {
@@ -241,6 +250,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         stats.l1_hits += core.l1.stats().hits;
         stats.l1_misses += core.l1.stats().misses;
     }
+    mc.timing_audit().assert_clean("SSMC memory controller");
     NodeResult {
         stats,
         dram: mc.stats().clone(),

@@ -1,3 +1,6 @@
+//! Quick functional check: runs every benchmark's kernel and prints
+//! whether the reduced output matches the golden reference.
+
 use millipede_engine::run_functional;
 use millipede_mapreduce::ThreadGrid;
 use millipede_workloads::{Benchmark, Workload};

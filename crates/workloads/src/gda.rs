@@ -96,7 +96,7 @@ pub fn build(num_chunks: usize, row_bytes: u64, seed: u64) -> Workload {
             b.bind(sloop);
             b.alui(AluOp::Sll, r(13), R_SLOT, 2);
             b.ld(r(11), r(13), CLS_OFF, AddrSpace::Local); // class
-            // mean pointer: MEAN_OFF + class*DIMS*4
+                                                           // mean pointer: MEAN_OFF + class*DIMS*4
             b.alui(AluOp::Mul, r(15), r(11), (DIMS * 4) as i32);
             b.alui(AluOp::Add, r(15), r(15), MEAN_OFF);
             // cov pointer: COV_OFF + class*TRI*4

@@ -2,9 +2,9 @@
 //!
 //! A small SplitMix64 generator keeps datasets bit-reproducible across
 //! platforms and library versions — the golden tests and paper-figure
-//! regeneration depend on that. (The `rand` crate is still used elsewhere in
-//! the workspace; this module just avoids coupling dataset bits to its
-//! version.)
+//! regeneration depend on that. (The workspace deliberately has no external
+//! PRNG dependency — this generator is the only randomness source, which
+//! also keeps the offline build free of registry fetches.)
 
 /// SplitMix64 PRNG (Steele, Lea & Flood 2014).
 #[derive(Debug, Clone)]
@@ -88,7 +88,10 @@ mod tests {
                 lo += 1;
             }
         }
-        assert!((300..700).contains(&lo), "poorly spread: {lo}/1000 below 0.5");
+        assert!(
+            (300..700).contains(&lo),
+            "poorly spread: {lo}/1000 below 0.5"
+        );
     }
 
     #[test]

@@ -22,7 +22,6 @@
 //! ordering) are constants in each module.
 
 #![warn(missing_docs)]
-
 // Reference implementations use indexed loops that mirror the kernels'
 // address arithmetic one-for-one; iterator rewrites would obscure that.
 #![allow(clippy::needless_range_loop)]
@@ -306,8 +305,14 @@ pub fn combine_outputs(bench: Benchmark, outputs: &[Reduced]) -> Reduced {
                 }
             }
             (
-                Reduced::Mixed { ints: ai, floats: af },
-                Reduced::Mixed { ints: bi, floats: bf },
+                Reduced::Mixed {
+                    ints: ai,
+                    floats: af,
+                },
+                Reduced::Mixed {
+                    ints: bi,
+                    floats: bf,
+                },
             ) => {
                 assert_eq!(ai.len(), bi.len());
                 assert_eq!(af.len(), bf.len());
@@ -369,8 +374,7 @@ mod tests {
         let grid = ThreadGrid::slab(8, 4);
         for bench in [Benchmark::Count, Benchmark::Variance, Benchmark::NBayes] {
             let w = Workload::build(bench, 4, 256, 9);
-            let refs: Vec<Reduced> =
-                w.shard(2).iter().map(|s| s.reference(&grid)).collect();
+            let refs: Vec<Reduced> = w.shard(2).iter().map(|s| s.reference(&grid)).collect();
             assert_eq!(
                 combine_outputs(bench, &refs),
                 w.reference(&grid),
@@ -384,13 +388,12 @@ mod tests {
     fn sharded_functional_runs_combine_to_the_full_reference() {
         let grid = ThreadGrid::slab(8, 4);
         let w = Workload::build(Benchmark::Kmeans, 4, 256, 11);
-        let outs: Vec<Reduced> = w
-            .shard(4)
-            .iter()
-            .map(|s| s.run_functional(&grid))
-            .collect();
+        let outs: Vec<Reduced> = w.shard(4).iter().map(|s| s.run_functional(&grid)).collect();
         let refs: Vec<Reduced> = w.shard(4).iter().map(|s| s.reference(&grid)).collect();
-        assert_eq!(combine_outputs(Benchmark::Kmeans, &outs), combine_outputs(Benchmark::Kmeans, &refs));
+        assert_eq!(
+            combine_outputs(Benchmark::Kmeans, &outs),
+            combine_outputs(Benchmark::Kmeans, &refs)
+        );
     }
 
     #[test]

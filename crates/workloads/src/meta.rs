@@ -111,7 +111,8 @@ mod tests {
         for m in &TABLE_II {
             let w = crate::Workload::build(m.bench, 1, 256, 1);
             assert_eq!(
-                w.dataset.layout.num_fields, m.num_fields,
+                w.dataset.layout.num_fields,
+                m.num_fields,
                 "{}",
                 m.bench.name()
             );

@@ -38,8 +38,7 @@ use millipede_isa::reg::{r, Reg};
 pub type FieldEmitter = Box<dyn FnOnce(&mut ProgramBuilder)>;
 use millipede_isa::{AluOp, CmpOp, Program, ProgramBuilder};
 use millipede_mapreduce::{
-    ABI_CHUNKS, ABI_CHUNK_STRIDE, ABI_LANE_OFFSET, ABI_REC_STRIDE, ABI_RPTC,
-    ABI_FIELD_STRIDE,
+    ABI_CHUNKS, ABI_CHUNK_STRIDE, ABI_FIELD_STRIDE, ABI_LANE_OFFSET, ABI_REC_STRIDE, ABI_RPTC,
 };
 
 /// Kernel constant: `num_fields * 4` (loaded by the helper preamble).

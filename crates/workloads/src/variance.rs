@@ -49,7 +49,7 @@ pub fn build(num_chunks: usize, row_bytes: u64, seed: u64) -> Workload {
             let invalid = b.label();
             let join = b.label();
             b.br(CmpOp::Eq, r(10), R_CONST9, invalid); // invalid (10%)
-            // Bin by bits 4–6, pre-scaled to a byte offset (bin*16).
+                                                       // Bin by bits 4–6, pre-scaled to a byte offset (bin*16).
             b.alui(AluOp::And, r(11), r(10), ((NUM_BINS - 1) << 4) as i32);
             b.ld(r(12), r(11), 0, AddrSpace::Local); // count
             b.alui(AluOp::Add, r(12), r(12), 1);
@@ -118,10 +118,10 @@ pub fn variances(reduced: &Reduced) -> Vec<f64> {
     };
     (0..NUM_BINS)
         .map(|bin| {
-            let n = v[bin] as f64;
-            if n == 0.0 {
+            if v[bin] == 0 {
                 return 0.0;
             }
+            let n = v[bin] as f64;
             let mean = v[NUM_BINS + bin] as f64 / n;
             v[2 * NUM_BINS + bin] as f64 / n - mean * mean
         })

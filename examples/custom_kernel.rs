@@ -69,17 +69,13 @@ fn main() {
     let layout = InterleavedLayout::new(1, 2048, 8);
     let dataset = Dataset::generate(layout, |i| vec![(i as u32 * 2_654_435_761) >> 16]);
     let grid = ThreadGrid::paper_default();
-    let mut ctx = grid
-        .launch_params(&layout, 0, 0)
-        .values()
-        .iter()
-        .fold(
-            millipede::engine::ThreadCtx::new(64, &Default::default()),
-            |mut c, &(reg, val)| {
-                c.write_reg(reg, val);
-                c
-            },
-        );
+    let mut ctx = grid.launch_params(&layout, 0, 0).values().iter().fold(
+        millipede::engine::ThreadCtx::new(64, &Default::default()),
+        |mut c, &(reg, val)| {
+            c.write_reg(reg, val);
+            c
+        },
+    );
     let stats = run_functional(&mut ctx, &program, &dataset.image, 1_000_000).unwrap();
     println!(
         "\nthread (0,0): {} instructions, {} input words, {:.0}% branches taken",

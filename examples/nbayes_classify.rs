@@ -32,16 +32,12 @@ impl Model {
             for d in 0..DIMS {
                 for x in 0..VALS {
                     let c = v[2 + (d * VALS + x) * 2 + class] as f64;
-                    log_like[class][d][x] =
-                        ((c + 1.0) / (class_count[class] + VALS as f64)).ln();
+                    log_like[class][d][x] = ((c + 1.0) / (class_count[class] + VALS as f64)).ln();
                 }
             }
         }
         Model {
-            log_prior: [
-                (class_count[0] / total).ln(),
-                (class_count[1] / total).ln(),
-            ],
+            log_prior: [(class_count[0] / total).ln(), (class_count[1] / total).ln()],
             log_like,
         }
     }

@@ -59,14 +59,16 @@ fn main() {
         eprintln!("unknown benchmark `{}` (try `millipede-cli list`)", args[0]);
         std::process::exit(2);
     });
-    let arch = ARCHS
-        .iter()
-        .find(|(name, _)| *name == args[1])
-        .map(|&(_, a)| a)
-        .unwrap_or_else(|| {
-            eprintln!("unknown architecture `{}` (try `millipede-cli list`)", args[1]);
+    let arch = ARCHS.iter().find(|(name, _)| *name == args[1]).map_or_else(
+        || -> Arch {
+            eprintln!(
+                "unknown architecture `{}` (try `millipede-cli list`)",
+                args[1]
+            );
             std::process::exit(2);
-        });
+        },
+        |&(_, a)| a,
+    );
 
     let mut cfg = SimConfig::default();
     let mut csv = false;
@@ -122,11 +124,20 @@ fn main() {
         );
         return;
     }
-    println!("{} on {} ({} chunks, seed {})", bench.name(), r.arch.label(), cfg.num_chunks, cfg.seed);
+    println!(
+        "{} on {} ({} chunks, seed {})",
+        bench.name(),
+        r.arch.label(),
+        cfg.num_chunks,
+        cfg.seed
+    );
     println!("  simulated time   : {:>10.1} µs", r.node.runtime_us());
     println!("  instructions     : {:>10}", r.node.stats.instructions);
     println!("  issue utilization: {:>10.2}", r.node.stats.utilization());
-    println!("  DRAM bandwidth   : {:>10.2} GB/s", r.node.dram_bandwidth_gbps());
+    println!(
+        "  DRAM bandwidth   : {:>10.2} GB/s",
+        r.node.dram_bandwidth_gbps()
+    );
     println!("  row miss rate    : {:>10.3}", r.node.dram.row_miss_rate());
     println!("  activations      : {:>10}", r.node.dram.activations);
     println!(

@@ -99,7 +99,10 @@ fn thread_level_work_is_architecture_independent() {
     assert_eq!(ssmc.stats.instructions, milli.stats.instructions);
     assert_eq!(gpgpu.stats.instructions, vws.stats.instructions);
     assert_eq!(ssmc.stats.input_loads, gpgpu.stats.input_loads);
-    assert_eq!(ssmc.stats.input_loads, w.dataset.num_records() as u64 * w.dataset.layout.num_fields as u64);
+    assert_eq!(
+        ssmc.stats.input_loads,
+        w.dataset.num_records() as u64 * w.dataset.layout.num_fields as u64
+    );
 }
 
 #[test]

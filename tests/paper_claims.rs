@@ -104,5 +104,8 @@ fn fig7_shapes() {
     }
     let early = f.geomean(2) / f.geomean(0); // 2 → 8 entries
     let late = f.geomean(4) / f.geomean(3); // 16 → 32 entries
-    assert!(late <= early + 1e-9, "no leveling off: {early:.3} vs {late:.3}");
+    assert!(
+        late <= early + 1e-9,
+        "no leveling off: {early:.3} vs {late:.3}"
+    );
 }

@@ -1,4 +1,10 @@
 //! Property-based tests over the core data structures' invariants.
+//!
+//! Gated behind the `proptest` feature because the external `proptest`
+//! crate is unavailable in the offline build environment. To run: restore
+//! `proptest = "1"` under `[dev-dependencies]` in the root manifest and
+//! `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
 
 use millipede::core_arch::pbuf::{ConsumeOutcome, Lookup, RowPrefetchBuffer};
 use millipede::dram::{DramGeometry, DramTiming, MemoryController, Request};
@@ -163,20 +169,37 @@ proptest! {
 fn arb_instr(len: u32) -> impl Strategy<Value = Instr> {
     let reg = (0u8..32).prop_map(r);
     prop_oneof![
-        (proptest::sample::select(AluOp::ALL.to_vec()), reg.clone(), reg.clone(), reg.clone())
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            reg.clone(),
+            reg.clone(),
+            reg.clone()
+        )
             .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
-        (proptest::sample::select(AluOp::ALL.to_vec()), reg.clone(), reg.clone(), any::<i16>())
-            .prop_map(|(op, dst, a, imm)| Instr::AluI { op, dst, a, imm: imm as i32 }),
-        (reg.clone(), any::<u32>()).prop_map(|(dst, imm)| Instr::Li { dst, imm }),
-        (reg.clone(), reg.clone(), -64i32..64)
-            .prop_map(|(dst, addr, offset)| Instr::Ld {
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            reg.clone(),
+            reg.clone(),
+            any::<i16>()
+        )
+            .prop_map(|(op, dst, a, imm)| Instr::AluI {
+                op,
                 dst,
-                addr,
-                offset: offset * 4,
-                space: millipede::isa::AddrSpace::Local,
+                a,
+                imm: imm as i32
             }),
-        (reg.clone(), reg.clone(), -64i32..64)
-            .prop_map(|(src, addr, offset)| Instr::St { src, addr, offset: offset * 4 }),
+        (reg.clone(), any::<u32>()).prop_map(|(dst, imm)| Instr::Li { dst, imm }),
+        (reg.clone(), reg.clone(), -64i32..64).prop_map(|(dst, addr, offset)| Instr::Ld {
+            dst,
+            addr,
+            offset: offset * 4,
+            space: millipede::isa::AddrSpace::Local,
+        }),
+        (reg.clone(), reg.clone(), -64i32..64).prop_map(|(src, addr, offset)| Instr::St {
+            src,
+            addr,
+            offset: offset * 4
+        }),
         (
             proptest::sample::select(CmpOp::ALL.to_vec()),
             reg.clone(),
