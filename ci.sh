@@ -23,4 +23,14 @@ cargo build --offline --release
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> fast-forward differential (MILLIPEDE_FASTFORWARD=0 vs =1)"
+# The golden digests are pinned against the cycle-by-cycle semantics; the
+# differential suite proves fast-forwarding and parallel sweeps reproduce
+# them bit-for-bit. Run both explicitly under each env setting so a
+# regression in either mode (or in the env plumbing itself) fails CI.
+MILLIPEDE_FASTFORWARD=0 cargo test --offline -q -p millipede \
+    --test fastforward_differential --test golden_digests
+MILLIPEDE_FASTFORWARD=1 cargo test --offline -q -p millipede \
+    --test fastforward_differential --test golden_digests
+
 echo "CI green."

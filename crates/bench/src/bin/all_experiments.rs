@@ -1,6 +1,27 @@
 //! Regenerates the full evaluation: every table and figure in sequence.
+//!
+//! `--profile` prints per-section wall times (and per-point sweep profiles
+//! for the sections that retain their runs) to stderr; stdout is
+//! byte-identical with or without it.
+
+use std::time::Instant;
+
+/// Runs one section, returning its result and printing the section wall
+/// time to stderr when profiling.
+fn section<T>(profile: bool, name: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    if profile {
+        eprintln!("{name} wall: {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+    }
+    out
+}
+
 fn main() {
-    let cfg = millipede_bench::config_from_args();
+    let args = millipede_bench::parse();
+    let cfg = &args.cfg;
+    let profile = args.profile;
+    let total = Instant::now();
     println!(
         "Millipede reproduction — full evaluation ({} chunks, seed {})\n",
         cfg.num_chunks, cfg.seed
@@ -8,27 +29,56 @@ fn main() {
     println!("Table II — Summary of application behavior\n");
     println!("{}", millipede_sim::experiments::table2::render());
     println!("Table III — Hardware parameters\n");
-    println!("{}", millipede_sim::experiments::table3::render(&cfg));
+    println!("{}", millipede_sim::experiments::table3::render(cfg));
     println!("Table IV — Benchmark parameters and characteristics\n");
-    println!("{}", millipede_sim::experiments::table4::run(&cfg).render());
+    let t4 = section(profile, "table4", || {
+        millipede_sim::experiments::table4::run(cfg)
+    });
+    println!("{}", t4.render());
     println!("Fig. 3 — Performance (speedup over GPGPU)\n");
-    println!("{}", millipede_sim::experiments::fig3::run(&cfg).render());
+    let f3 = section(profile, "fig3", || {
+        millipede_sim::experiments::fig3::run(cfg)
+    });
+    println!("{}", f3.render());
+    if profile {
+        let runs: Vec<_> = f3.runs.iter().flatten().collect();
+        eprint!("{}", millipede_sim::report::profile(&runs));
+    }
     println!("Fig. 4 — Energy (relative to GPGPU)\n");
-    println!("{}", millipede_sim::experiments::fig4::run(&cfg).render());
+    let f4 = section(profile, "fig4", || {
+        millipede_sim::experiments::fig4::run(cfg)
+    });
+    println!("{}", f4.render());
     println!("Fig. 5 — Millipede vs conventional multicore\n");
-    println!("{}", millipede_sim::experiments::fig5::run(&cfg).render());
+    let f5 = section(profile, "fig5", || {
+        millipede_sim::experiments::fig5::run(cfg)
+    });
+    println!("{}", f5.render());
     println!("Fig. 6 — Speedup vs system size\n");
-    println!("{}", millipede_sim::experiments::fig6::run(&cfg).render());
+    let f6 = section(profile, "fig6", || {
+        millipede_sim::experiments::fig6::run(cfg)
+    });
+    println!("{}", f6.render());
     println!("Fig. 7 — Speedup vs prefetch-buffer count\n");
-    println!("{}", millipede_sim::experiments::fig7::run(&cfg).render());
+    let f7 = section(profile, "fig7", || {
+        millipede_sim::experiments::fig7::run(cfg)
+    });
+    println!("{}", f7.render());
     println!("Rate-matching convergence (§IV-F)\n");
-    println!(
-        "{}",
-        millipede_sim::experiments::convergence::run(&cfg).render()
-    );
+    let conv = section(profile, "convergence", || {
+        millipede_sim::experiments::convergence::run(cfg)
+    });
+    println!("{}", conv.render());
     println!("Ablations (beyond the paper's figures)\n");
-    println!(
-        "{}",
-        millipede_sim::experiments::ablations::render_all(&cfg)
-    );
+    let abl = section(profile, "ablations", || {
+        millipede_sim::experiments::ablations::render_all(cfg)
+    });
+    println!("{abl}");
+    if profile {
+        eprintln!(
+            "total wall: {:.1} ms ({} sweep workers)",
+            total.elapsed().as_secs_f64() * 1e3,
+            millipede_sim::sweep_threads()
+        );
+    }
 }

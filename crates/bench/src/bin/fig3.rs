@@ -1,14 +1,18 @@
 //! Regenerates Fig. 3 — performance normalized to GPGPU.
 fn main() {
-    let (cfg, csv) = millipede_bench::config_and_format_from_args();
-    let fig = millipede_sim::experiments::fig3::run(&cfg);
-    if csv {
+    let args = millipede_bench::parse();
+    let fig = millipede_sim::experiments::fig3::run(&args.cfg);
+    if args.csv {
         print!("{}", fig.to_csv());
     } else {
         println!(
             "Fig. 3 — Performance (speedup over GPGPU, {} chunks)\n",
-            cfg.num_chunks
+            args.cfg.num_chunks
         );
         println!("{}", fig.render());
+    }
+    if args.profile {
+        let runs: Vec<_> = fig.runs.iter().flatten().collect();
+        eprint!("{}", millipede_sim::report::profile(&runs));
     }
 }

@@ -1,9 +1,14 @@
 //! Regenerates Fig. 4 — energy breakdown normalized to GPGPU.
 fn main() {
-    let cfg = millipede_bench::config_from_args();
+    let args = millipede_bench::parse();
+    let fig = millipede_sim::experiments::fig4::run(&args.cfg);
     println!(
         "Fig. 4 — Energy (relative to GPGPU; stacked core/dram/static, {} chunks)\n",
-        cfg.num_chunks
+        args.cfg.num_chunks
     );
-    println!("{}", millipede_sim::experiments::fig4::run(&cfg).render());
+    println!("{}", fig.render());
+    if args.profile {
+        let runs: Vec<_> = fig.runs.iter().flatten().collect();
+        eprint!("{}", millipede_sim::report::profile(&runs));
+    }
 }

@@ -1,9 +1,17 @@
 //! Regenerates Fig. 5 — Millipede versus the conventional multicore.
 fn main() {
-    let cfg = millipede_bench::config_from_args();
+    let args = millipede_bench::parse();
+    let start = std::time::Instant::now();
+    let fig = millipede_sim::experiments::fig5::run(&args.cfg);
+    let wall = start.elapsed();
     println!(
         "Fig. 5 — 32-processor Millipede vs 8-core OoO multicore ({} chunks)\n",
-        cfg.num_chunks
+        args.cfg.num_chunks
     );
-    println!("{}", millipede_sim::experiments::fig5::run(&cfg).render());
+    println!("{}", fig.render());
+    if args.profile {
+        // Fig. 5 simulates whole 32-node systems, not single sweep points,
+        // so only the section wall time is meaningful here.
+        eprintln!("fig5 wall: {:.1} ms", wall.as_secs_f64() * 1e3);
+    }
 }

@@ -1,9 +1,14 @@
 //! Regenerates Fig. 6 — speedup versus system size.
 fn main() {
-    let cfg = millipede_bench::config_from_args();
+    let args = millipede_bench::parse();
+    let fig = millipede_sim::experiments::fig6::run(&args.cfg);
     println!(
         "Fig. 6 — Speedup vs system size (normalized to 32-lane GPGPU, {} chunks)\n",
-        cfg.num_chunks
+        args.cfg.num_chunks
     );
-    println!("{}", millipede_sim::experiments::fig6::run(&cfg).render());
+    println!("{}", fig.render());
+    if args.profile {
+        let runs: Vec<_> = fig.runs.iter().flatten().flatten().collect();
+        eprint!("{}", millipede_sim::report::profile(&runs));
+    }
 }

@@ -1,11 +1,15 @@
 //! Regenerates Fig. 7 — speedup versus prefetch-buffer count.
 fn main() {
-    let (cfg, csv) = millipede_bench::config_and_format_from_args();
-    let fig = millipede_sim::experiments::fig7::run(&cfg);
-    if csv {
+    let args = millipede_bench::parse();
+    let fig = millipede_sim::experiments::fig7::run(&args.cfg);
+    if args.csv {
         print!("{}", fig.to_csv());
     } else {
-        println!("Fig. 7 — Millipede speedup vs prefetch-buffer count (normalized to 2 entries, {} chunks)\n", cfg.num_chunks);
+        println!("Fig. 7 — Millipede speedup vs prefetch-buffer count (normalized to 2 entries, {} chunks)\n", args.cfg.num_chunks);
         println!("{}", fig.render());
+    }
+    if args.profile {
+        let runs: Vec<_> = fig.runs.iter().flatten().collect();
+        eprint!("{}", millipede_sim::report::profile(&runs));
     }
 }

@@ -1,14 +1,18 @@
 //! Regenerates Table IV — benchmark parameters and characteristics.
 fn main() {
-    let (cfg, csv) = millipede_bench::config_and_format_from_args();
-    let t = millipede_sim::experiments::table4::run(&cfg);
-    if csv {
+    let args = millipede_bench::parse();
+    let t = millipede_sim::experiments::table4::run(&args.cfg);
+    if args.csv {
         print!("{}", t.to_csv());
     } else {
         println!(
             "Table IV — Benchmark parameters and characteristics ({} chunks)\n",
-            cfg.num_chunks
+            args.cfg.num_chunks
         );
         println!("{}", t.render());
+    }
+    if args.profile {
+        let runs: Vec<_> = t.runs.iter().collect();
+        eprint!("{}", millipede_sim::report::profile(&runs));
     }
 }

@@ -1,28 +1,50 @@
 //! Shared plumbing for the table/figure regeneration binaries.
 //!
-//! Every binary accepts the same two optional arguments:
+//! Every binary accepts the same optional arguments:
 //!
 //! ```text
-//! <bin> [--chunks N] [--seed S]
+//! <bin> [--chunks N] [--seed S] [--csv] [--profile]
 //! ```
 //!
-//! and prints the regenerated table to stdout. The defaults match
+//! and prints the regenerated table to stdout. `--profile` prints a host
+//! wall-time / fast-forward profile of the underlying sweep to **stderr**
+//! (stdout stays byte-identical with or without it). The defaults match
 //! `SimConfig::default()` (48 chunks ≈ 1.5–6 MB of input depending on the
 //! benchmark's record arity — well past the steady state the paper argues
 //! for, §V).
 
 use millipede_sim::SimConfig;
 
+/// Parsed command-line arguments shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The simulation configuration (`--chunks`, `--seed`).
+    pub cfg: SimConfig,
+    /// Emit CSV instead of an aligned table (`--csv`).
+    pub csv: bool,
+    /// Print a host wall-time / fast-forward profile to stderr
+    /// (`--profile`).
+    pub profile: bool,
+}
+
 /// Parses the common `--chunks` / `--seed` arguments.
 pub fn config_from_args() -> SimConfig {
-    config_and_format_from_args().0
+    parse().cfg
 }
 
 /// Parses `--chunks`, `--seed`, and `--csv`; the bool is true for CSV
 /// output.
 pub fn config_and_format_from_args() -> (SimConfig, bool) {
+    let a = parse();
+    (a.cfg, a.csv)
+}
+
+/// Parses all shared arguments: `--chunks`, `--seed`, `--csv`,
+/// `--profile`.
+pub fn parse() -> Args {
     let mut cfg = SimConfig::default();
     let mut csv = false;
+    let mut profile = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -42,15 +64,16 @@ pub fn config_and_format_from_args() -> (SimConfig, bool) {
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--csv" => csv = true,
+            "--profile" => profile = true,
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
-    (cfg, csv)
+    Args { cfg, csv, profile }
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: <bin> [--chunks N] [--seed S] [--csv]");
+    eprintln!("error: {msg}\nusage: <bin> [--chunks N] [--seed S] [--csv] [--profile]");
     std::process::exit(2);
 }
 

@@ -44,6 +44,12 @@ pub struct MillipedeConfig {
     /// wider columns for layout flexibility", §IV-C): the corelet still
     /// consumes its own 64 B slab either way.
     pub wide_columns: bool,
+    /// Idle-cycle fast-forward: when a compute edge is proven quiescent
+    /// (no issue, no observable state change), jump the clock to the memory
+    /// controller's next event instead of ticking cycle-by-cycle. Results
+    /// are bit-identical either way (see DESIGN.md); off reproduces the
+    /// original cycle-by-cycle schedule for differential testing.
+    pub fast_forward: bool,
 }
 
 impl Default for MillipedeConfig {
@@ -63,6 +69,7 @@ impl Default for MillipedeConfig {
             max_idle_cycles: 2_000_000,
             invariant_checks: cfg!(debug_assertions),
             wide_columns: false,
+            fast_forward: true,
         }
     }
 }

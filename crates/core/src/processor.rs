@@ -130,12 +130,34 @@ mod run_impl {
         let mut idle_streak: u64 = 0;
         let mut last_time: TimePs = 0;
 
+        // Quiescence fingerprint: a sum of monotone counters that every
+        // observable compute-edge state change bumps (prefetch push,
+        // stall transition, demand fetch, pbuf allocation / flow block /
+        // premature eviction). If a compute edge issues nothing *and*
+        // leaves this sum unchanged, it changed nothing at all: the fetch
+        // pump either had nothing to take or restored the queue exactly
+        // (`untake_fetch`), every context saw the same pbuf/bypass state it
+        // will see next cycle, and no rate-matcher signal fired (Full needs
+        // an issue, Empty needs a stall transition). Such edges repeat
+        // verbatim until the memory controller acts, so they can be
+        // skipped in bulk (see DESIGN.md, "Idle-cycle fast-forward").
+        let fingerprint = |stats: &CoreStats, pbuf: &RowPrefetchBuffer| {
+            let p = pbuf.stats();
+            stats.prefetches
+                + stats.demand_stalls
+                + stats.demand_fetches
+                + p.prefetches
+                + p.flow_blocks
+                + p.premature_evictions
+        };
+
         while halted < total_threads {
             match clock.pop() {
                 Edge::Compute(now) => {
                     clock_audit.on_clock_edge(ClockDomain::Compute, now);
                     last_time = now;
                     cycle += 1;
+                    let fp_before = fingerprint(&stats, &pbuf);
                     // Hand pending row prefetches to the controller.
                     while mc.free_slots() > 0 {
                         let fetches = pbuf.take_fetches(1);
@@ -188,6 +210,25 @@ mod run_impl {
                         idle_streak,
                         pbuf.stats()
                     );
+                    if cfg.fast_forward && !any_issued && fingerprint(&stats, &pbuf) == fp_before {
+                        if let Some(event) = mc.next_event_at() {
+                            let skipped = clock.fast_forward(event);
+                            // Replay the accounting the skipped no-op
+                            // edges would have produced: each visits every
+                            // corelet's issue slot and stalls it.
+                            cycle += skipped;
+                            stats.ff_skipped_cycles += skipped;
+                            stats.issue_slots += skipped * cfg.corelets as u64;
+                            stats.stall_slots += skipped * cfg.corelets as u64;
+                            idle_streak += skipped;
+                            assert!(
+                                idle_streak <= cfg.max_idle_cycles,
+                                "Millipede deadlock: no issue for {} cycles (pbuf {:?})",
+                                idle_streak,
+                                pbuf.stats()
+                            );
+                        }
+                    }
                 }
                 Edge::Channel(now) => {
                     clock_audit.on_clock_edge(ClockDomain::Channel, now);
@@ -502,6 +543,45 @@ mod tests {
             "wide/narrow runtime ratio {ratio}"
         );
         assert_eq!(wide.dram.bytes_transferred, narrow.dram.bytes_transferred);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_exact() {
+        for (bench, cfgs) in [
+            (
+                Benchmark::Count,
+                [
+                    MillipedeConfig::default(),
+                    MillipedeConfig::no_flow_control(),
+                ],
+            ),
+            (
+                Benchmark::NBayes,
+                [
+                    MillipedeConfig::no_rate_match(),
+                    MillipedeConfig::no_flow_control(),
+                ],
+            ),
+        ] {
+            let w = small(bench);
+            for mut c in cfgs {
+                c.fast_forward = false;
+                let slow = run(&w, &c);
+                c.fast_forward = true;
+                let fast = run(&w, &c);
+                assert_eq!(slow.stats.ff_skipped_cycles, 0);
+                assert!(
+                    fast.stats.ff_skipped_cycles > 0,
+                    "{bench:?}: fast-forward never engaged"
+                );
+                let mut fs = fast.stats.clone();
+                fs.ff_skipped_cycles = 0;
+                assert_eq!(fs, slow.stats, "{bench:?}: stats diverged");
+                assert_eq!(fast.dram, slow.dram, "{bench:?}: DRAM stats diverged");
+                assert_eq!(fast.elapsed_ps, slow.elapsed_ps);
+                assert_eq!(fast.output, slow.output);
+            }
+        }
     }
 
     #[test]

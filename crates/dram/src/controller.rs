@@ -288,6 +288,28 @@ impl MemoryController {
     pub fn next_completion_at(&self) -> Option<TimePs> {
         self.completed.iter().map(|c| c.done_at).min()
     }
+
+    /// Earliest time at which this controller can next make progress:
+    /// the minimum over pending completion timestamps and, per queued
+    /// request, the time its bank can accept a command
+    /// (`max(arrival, bank ready)`). `None` when idle.
+    ///
+    /// This bound is *exact*, not heuristic: between [`MemoryController::tick`]
+    /// calls, bank state ([`Bank::ready_at`], the open row) only changes
+    /// inside `tick` when a command actually issues, and `tick` issues a
+    /// command at time `t` iff some queued request has
+    /// `max(arrival, ready_at) <= t`. So no CAS or ACT can issue on any
+    /// channel edge strictly before the returned time, and a returned time
+    /// at or before "now" simply means the controller has issuable work
+    /// backed up (callers clamp to the next channel edge).
+    pub fn next_event_at(&self) -> Option<TimePs> {
+        let completions = self.completed.iter().map(|c| c.done_at);
+        let commands = self
+            .queue
+            .iter()
+            .map(|q| q.arrival.max(self.banks[q.bank].ready_at()));
+        completions.chain(commands).min()
+    }
 }
 
 #[cfg(test)]
@@ -626,6 +648,97 @@ mod tests {
             victim_done_at.is_some(),
             "conflicting request starved behind a hit stream"
         );
+    }
+
+    #[test]
+    fn next_event_at_is_none_when_idle() {
+        let c = ctrl();
+        assert_eq!(c.next_event_at(), None);
+    }
+
+    #[test]
+    fn next_event_at_never_precedes_actual_progress() {
+        // Drive a mixed workload cycle-by-cycle and assert the claimed
+        // next-event time is a sound lower bound: on any channel edge
+        // strictly before it, tick() neither issues a command nor exposes
+        // a completion.
+        let mut c = ctrl();
+        let row_stride = c.geometry().row_bytes * c.geometry().banks as u64;
+        for i in 0..6u64 {
+            let addr = if i % 2 == 0 {
+                (i / 2) * 128
+            } else {
+                row_stride + (i / 2) * 128
+            };
+            c.try_push(
+                Request {
+                    addr,
+                    bytes: 128,
+                    tag: i,
+                },
+                0,
+            )
+            .unwrap();
+        }
+        let mut now = 0;
+        let mut done = 0;
+        while done < 6 {
+            let bound = c.next_event_at().expect("work pending");
+            let before = c.stats().requests + c.stats().activations;
+            c.tick(now);
+            let after = c.stats().requests + c.stats().activations;
+            if now < bound {
+                assert_eq!(
+                    after, before,
+                    "command issued at {now} before bound {bound}"
+                );
+            }
+            now += c.timing().channel_period_ps;
+            let popped = c.pop_completed(now);
+            if !popped.is_empty() {
+                assert!(
+                    popped
+                        .iter()
+                        .all(|comp| comp.done_at >= bound || bound <= now),
+                    "completion before claimed bound {bound}"
+                );
+            }
+            done += popped.len();
+        }
+        assert_eq!(c.next_event_at(), None);
+    }
+
+    #[test]
+    fn next_event_at_tracks_bank_recovery_and_completions() {
+        let mut c = ctrl();
+        c.try_push(
+            Request {
+                addr: 0,
+                bytes: 128,
+                tag: 0,
+            },
+            0,
+        )
+        .unwrap();
+        // Fresh request to a ready bank: issuable immediately.
+        assert_eq!(c.next_event_at(), Some(0));
+        c.tick(0); // ACT issues; bank now busy until tRCD elapses.
+        let ready = c.next_event_at().unwrap();
+        assert!(ready > 0, "bank recovery should push the next event out");
+        // Tick through: no CAS can issue before `ready`.
+        let mut now = c.timing().channel_period_ps;
+        while now < ready {
+            c.tick(now);
+            assert_eq!(c.stats().requests, 0);
+            now += c.timing().channel_period_ps;
+        }
+        c.tick(now); // CAS issues on the first edge at/after `ready`.
+        assert_eq!(c.stats().requests, 1);
+        // Only a completion remains; the bound is its timestamp.
+        let done_at = c.next_completion_at().unwrap();
+        assert_eq!(c.next_event_at(), Some(done_at));
+        assert_eq!(c.pop_completed(done_at).len(), 1);
+        assert_eq!(c.next_event_at(), None);
     }
 
     #[test]

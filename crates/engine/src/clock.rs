@@ -92,6 +92,44 @@ impl DualClock {
     pub fn peek_time(&self) -> TimePs {
         self.next_compute.min(self.next_channel)
     }
+
+    /// Fast-forwards both domains to the first channel edge at or after
+    /// `event`, returning how many compute edges were skipped.
+    ///
+    /// The caller asserts that, until the component driving the channel
+    /// domain acts at or after `event`, every intervening edge is an exact
+    /// no-op (see DESIGN.md, "Idle-cycle fast-forward"). Under that
+    /// contract the skip is *exact*, not approximate:
+    ///
+    /// * channel edges strictly before the target are dropped (nothing
+    ///   fires on them, and they carry no accounting);
+    /// * compute edges at or before the target are dropped — including a
+    ///   compute edge tied with the target, because ties resolve
+    ///   compute-first and a tied compute edge still observes the
+    ///   pre-event state. The caller must replay their per-cycle
+    ///   accounting using the returned count;
+    /// * `last_compute` advances to the last skipped compute edge so a
+    ///   subsequent [`DualClock::set_compute_period`] reschedules exactly
+    ///   as if the skipped edges had been popped one by one.
+    ///
+    /// The next [`DualClock::pop`] returns the channel edge at the target
+    /// (or an earlier compute edge if none was skippable).
+    pub fn fast_forward(&mut self, event: TimePs) -> u64 {
+        let target = if self.next_channel >= event {
+            self.next_channel
+        } else {
+            let delta = event - self.next_channel;
+            self.next_channel + delta.div_ceil(self.channel_period) * self.channel_period
+        };
+        self.next_channel = target;
+        if self.next_compute > target {
+            return 0;
+        }
+        let skipped = (target - self.next_compute) / self.compute_period + 1;
+        self.last_compute = self.next_compute + (skipped - 1) * self.compute_period;
+        self.next_compute = self.last_compute + self.compute_period;
+        skipped
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +179,83 @@ mod tests {
         c.set_compute_period(2000);
         assert_eq!(c.pop(), Edge::Compute(3000));
         assert_eq!(c.pop(), Edge::Compute(5000));
+    }
+
+    /// Pops edges one at a time up to (and including) the first channel
+    /// edge at or after `event`, counting compute edges at or before that
+    /// channel edge — the reference behaviour `fast_forward` must match.
+    fn slow_forward(c: &mut DualClock, event: TimePs) -> (u64, TimePs) {
+        let mut skipped = 0;
+        loop {
+            match c.pop() {
+                Edge::Compute(_) => skipped += 1,
+                Edge::Channel(t) if t >= event => return (skipped, t),
+                Edge::Channel(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_cycle_by_cycle() {
+        for event in [1, 399, 400, 401, 999, 1000, 1001, 3999, 4000, 12_345] {
+            let mut fast = DualClock::new(1000, 400);
+            let mut slow = fast.clone();
+            let skipped = fast.fast_forward(event);
+            let (slow_skipped, channel_t) = slow_forward(&mut slow, event);
+            assert_eq!(skipped, slow_skipped, "event={event}");
+            // The next pop on the fast clock is the channel edge slow
+            // stopped at (or the tied compute edge slow already counted
+            // cannot exist: fast_forward consumed it too).
+            assert_eq!(fast.pop(), Edge::Channel(channel_t), "event={event}");
+            // Both clocks now agree on all future edges.
+            for _ in 0..8 {
+                assert_eq!(fast.pop(), slow.pop(), "event={event}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_to_past_event_is_next_channel_edge() {
+        let mut c = DualClock::new(1000, 400);
+        c.pop(); // Channel(400)
+        c.pop(); // Channel(800)
+                 // A completion already in the past still lands on the next channel
+                 // edge (1200); the compute edge at 1000 is skipped.
+        assert_eq!(c.fast_forward(500), 1);
+        assert_eq!(c.pop(), Edge::Channel(1200));
+    }
+
+    #[test]
+    fn fast_forward_skips_tied_compute_edge() {
+        // Compute and channel tie at 2000; the tied compute edge observes
+        // pre-event state, so it is skipped along with earlier ones.
+        let mut c = DualClock::new(1000, 400);
+        assert_eq!(c.fast_forward(2000), 2);
+        assert_eq!(c.pop(), Edge::Channel(2000));
+        assert_eq!(c.pop(), Edge::Channel(2400));
+    }
+
+    #[test]
+    fn fast_forward_zero_skip_keeps_compute_schedule() {
+        let mut c = DualClock::new(10_000, 400);
+        assert_eq!(c.fast_forward(800), 0);
+        assert_eq!(c.pop(), Edge::Channel(800));
+        assert_eq!(c.pop(), Edge::Channel(1200));
+    }
+
+    #[test]
+    fn dfs_after_fast_forward_reschedules_from_last_skipped_edge() {
+        let mut fast = DualClock::new(1000, 400);
+        let mut slow = fast.clone();
+        // Event 3650 lands on channel edge 4000; compute edges 1000..=4000
+        // (the tied one included) are skipped.
+        assert_eq!(fast.fast_forward(3650), 4);
+        assert_eq!(fast.pop(), Edge::Channel(4000));
+        slow_forward(&mut slow, 3650);
+        fast.set_compute_period(700);
+        slow.set_compute_period(700);
+        for _ in 0..8 {
+            assert_eq!(fast.pop(), slow.pop());
+        }
     }
 }

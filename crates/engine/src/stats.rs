@@ -54,6 +54,12 @@ pub struct CoreStats {
     /// Premature evictions (Millipede-no-flow-control: rows re-allocated
     /// before full consumption).
     pub premature_evictions: u64,
+    /// Compute cycles covered by idle-cycle fast-forward instead of being
+    /// ticked individually. Always `<= compute_cycles`; purely an
+    /// instrumentation counter, deliberately *excluded* from determinism
+    /// digests (a fast-forwarded run must digest identically to a
+    /// cycle-by-cycle one).
+    pub ff_skipped_cycles: u64,
     /// Converged rate-matched compute clock in MHz (0 when rate-matching is
     /// off).
     pub rate_match_final_mhz: f64,

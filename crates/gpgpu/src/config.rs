@@ -43,6 +43,9 @@ pub struct GpgpuConfig {
     pub dram_queue: usize,
     /// Deadlock guard.
     pub max_idle_cycles: u64,
+    /// Idle-cycle fast-forward (bit-exact; see DESIGN.md). Off reproduces
+    /// the cycle-by-cycle schedule for differential testing.
+    pub fast_forward: bool,
 }
 
 impl GpgpuConfig {
@@ -66,6 +69,7 @@ impl GpgpuConfig {
             timing: DramTiming::default(),
             dram_queue: 16,
             max_idle_cycles: 2_000_000,
+            fast_forward: true,
         }
     }
 

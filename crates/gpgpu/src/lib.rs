@@ -148,12 +148,43 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     let mut idle_streak: u64 = 0;
     let mut last_time: TimePs = 0;
     let mut live_warps: usize = num_warps;
+    // L1 probes the skipped edges would have re-counted (stalled warps
+    // re-probe their coalesced blocks every cycle); folded into the L1
+    // stats at the end so fast-forward stays bit-exact.
+    let mut ff_l1_hits: u64 = 0;
+    let mut ff_l1_misses: u64 = 0;
+
+    // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
+    // every observable compute-edge mutation either bumps one of these
+    // monotone counters/cursors or is a per-retry-edge recount
+    // (demand_stalls, L1 hit/miss probes) that is replayed via the `ff_*`
+    // accumulators instead. `outstanding` catches MSHR secondary
+    // allocations, which bump no statistic. Warp wakeup timers
+    // (`busy_until`, `lsu_busy_until`) are cycle-keyed and independent of
+    // memory, so fast-forward is gated off entirely while any is pending.
+    let fingerprint = |stats: &CoreStats, sm: &Sm, pbuf: Option<&RowPrefetchBuffer>| -> u64 {
+        let pbuf_sum = pbuf.map_or(0, |p| {
+            let s = p.stats();
+            s.prefetches + s.flow_blocks + s.premature_evictions
+        });
+        let outstanding: u64 = sm.outstanding.iter().map(|&o| u64::from(o)).sum();
+        stats.prefetches
+            + stats.demand_fetches
+            + sm.pf_next
+            + sm.demand_block
+            + outstanding
+            + pbuf_sum
+    };
 
     while live_warps > 0 {
         match clock.pop() {
             Edge::Compute(now) => {
                 last_time = now;
                 cycle += 1;
+                let fp_before = fingerprint(&stats, &sm, pbuf.as_ref());
+                let stalls_before = stats.demand_stalls;
+                let hits_before = sm.l1.stats().hits;
+                let misses_before = sm.l1.stats().misses;
                 if let Some(pbuf) = pbuf.as_mut() {
                     pump_rows(pbuf, &mut mc, now, row_bytes, &mut stats);
                 } else {
@@ -187,6 +218,28 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                     idle_streak <= cfg.max_idle_cycles,
                     "GPGPU deadlock: no issue for {idle_streak} cycles"
                 );
+                if cfg.fast_forward
+                    && !any_issued
+                    && sm.lsu_busy_until <= cycle
+                    && sm.busy_until.iter().all(|&b| b <= cycle)
+                    && fingerprint(&stats, &sm, pbuf.as_ref()) == fp_before
+                {
+                    if let Some(event) = mc.next_event_at() {
+                        let skipped = clock.fast_forward(event);
+                        stats.demand_stalls += (stats.demand_stalls - stalls_before) * skipped;
+                        ff_l1_hits += (sm.l1.stats().hits - hits_before) * skipped;
+                        ff_l1_misses += (sm.l1.stats().misses - misses_before) * skipped;
+                        cycle += skipped;
+                        stats.ff_skipped_cycles += skipped;
+                        stats.issue_slots += skipped * cfg.clusters() as u64;
+                        stats.stall_slots += skipped * cfg.clusters() as u64;
+                        idle_streak += skipped;
+                        assert!(
+                            idle_streak <= cfg.max_idle_cycles,
+                            "GPGPU deadlock: no issue for {idle_streak} cycles"
+                        );
+                    }
+                }
             }
             Edge::Channel(now) => {
                 last_time = now;
@@ -211,8 +264,8 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
 
     stats.compute_cycles = cycle;
     stats.shared_passes = sm.shared.passes();
-    stats.l1_hits = sm.l1.stats().hits;
-    stats.l1_misses = sm.l1.stats().misses;
+    stats.l1_hits = sm.l1.stats().hits + ff_l1_hits;
+    stats.l1_misses = sm.l1.stats().misses + ff_l1_misses;
     if let Some(pbuf) = &pbuf {
         stats.flow_blocks = pbuf.stats().flow_blocks;
         stats.premature_evictions = pbuf.stats().premature_evictions;
@@ -670,6 +723,36 @@ mod tests {
             "wide {wide_txns} vs narrow {narrow_txns} L1 transactions"
         );
         assert!(wide.elapsed_ps >= narrow.elapsed_ps);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_exact() {
+        for (name, base) in [
+            ("gpgpu", GpgpuConfig::gpgpu()),
+            ("vws", GpgpuConfig::vws()),
+            ("vws_row", GpgpuConfig::vws_row()),
+        ] {
+            let w = small(Benchmark::Variance);
+            let slow = run(
+                &w,
+                &GpgpuConfig {
+                    fast_forward: false,
+                    ..base.clone()
+                },
+            );
+            let fast = run(&w, &base);
+            assert_eq!(slow.stats.ff_skipped_cycles, 0);
+            assert!(
+                fast.stats.ff_skipped_cycles > 0,
+                "{name}: fast-forward never engaged"
+            );
+            let mut fs = fast.stats.clone();
+            fs.ff_skipped_cycles = 0;
+            assert_eq!(fs, slow.stats, "{name}: stats diverged");
+            assert_eq!(fast.dram, slow.dram, "{name}: DRAM stats diverged");
+            assert_eq!(fast.elapsed_ps, slow.elapsed_ps);
+            assert_eq!(fast.output, slow.output);
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@ use millipede_ssmc::SsmcConfig;
 use millipede_workloads::Workload;
 
 /// Every architecture configuration the paper's figures compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive (declaration order) keys deterministic sweep
+/// collections ([`crate::runner::run_grid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Arch {
     /// 32-wide-warp GPGPU SM with cache-block prefetch.
     Gpgpu,
@@ -100,6 +103,7 @@ impl Arch {
                 c.pbuf_entries = cfg.pbuf_entries;
                 c.geometry = cfg.geometry();
                 c.timing = cfg.timing();
+                c.fast_forward = cfg.fast_forward;
                 millipede_gpgpu::run(workload, &c)
             }
             Arch::Ssmc => {
@@ -109,6 +113,7 @@ impl Arch {
                     l1_block: cfg.row_bytes / cfg.corelets as u64,
                     geometry: cfg.geometry(),
                     timing: cfg.timing(),
+                    fast_forward: cfg.fast_forward,
                     ..SsmcConfig::default()
                 };
                 millipede_ssmc::run(workload, &c)
@@ -124,6 +129,7 @@ impl Arch {
                 c.pbuf_entries = cfg.pbuf_entries;
                 c.geometry = cfg.geometry();
                 c.timing = cfg.timing();
+                c.fast_forward = cfg.fast_forward;
                 millipede_core::run(workload, &c)
             }
             Arch::Multicore => millipede_multicore::run(workload, &MulticoreConfig::default()),

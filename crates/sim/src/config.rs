@@ -30,6 +30,11 @@ pub struct SimConfig {
     pub pbuf_entries: usize,
     /// Energy-model constants.
     pub energy: EnergyParams,
+    /// Idle-cycle fast-forward in every event-driven timing model
+    /// (bit-exact; see DESIGN.md). Defaults from `MILLIPEDE_FASTFORWARD`
+    /// (unset or anything but `0` → on), so CI can difference the two
+    /// schedules without code changes.
+    pub fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -43,8 +48,15 @@ impl Default for SimConfig {
             bandwidth_factor: 1,
             pbuf_entries: 16,
             energy: EnergyParams::default(),
+            fast_forward: fast_forward_from_env(),
         }
     }
+}
+
+/// Reads the `MILLIPEDE_FASTFORWARD` environment switch: unset or any
+/// value other than `0` enables fast-forward.
+pub fn fast_forward_from_env() -> bool {
+    std::env::var("MILLIPEDE_FASTFORWARD").map_or(true, |v| v != "0")
 }
 
 impl SimConfig {

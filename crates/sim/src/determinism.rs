@@ -100,6 +100,11 @@ fn write_reduced(h: &mut Fnv1a, r: &Reduced) {
 }
 
 /// Digests everything observable about a completed run.
+///
+/// Host-side profiling metadata — `RunResult::wall` and
+/// `CoreStats::ff_skipped_cycles` — is deliberately excluded: a
+/// fast-forwarded run must digest identically to its cycle-by-cycle
+/// baseline, on any host.
 pub fn digest_run(r: &RunResult) -> u64 {
     let mut h = Fnv1a::new();
     h.write(r.arch.label().as_bytes());
@@ -241,6 +246,24 @@ mod tests {
             v[0] ^= 1;
         }
         assert_ne!(digest_run(&t), d0);
+    }
+
+    #[test]
+    fn digest_ignores_host_profiling_fields() {
+        let cfg = SimConfig {
+            num_chunks: 2,
+            ..Default::default()
+        };
+        let base = run_one(Arch::Ssmc, Benchmark::Count, &cfg);
+        let d0 = digest_run(&base);
+        let mut t = base;
+        t.wall += std::time::Duration::from_secs(1);
+        t.node.stats.ff_skipped_cycles += 12345;
+        assert_eq!(
+            digest_run(&t),
+            d0,
+            "wall time and skipped-cycle counters must stay out of digests"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::arch::Arch;
 use crate::config::SimConfig;
 use crate::report::{f0, f3, Table};
-use crate::runner::run_many;
+use crate::runner::{run_many, RunResult};
 use millipede_engine::{run_functional, FuncStats, DEFAULT_STEP_LIMIT};
 use millipede_mapreduce::ThreadGrid;
 use millipede_workloads::{Benchmark, Workload};
@@ -33,6 +33,9 @@ pub struct Row {
 pub struct Table4 {
     /// One row per benchmark, in Table IV order.
     pub rows: Vec<Row>,
+    /// The underlying timing runs (`[SSMC, Millipede]` per benchmark),
+    /// retained so the binaries can profile the sweep.
+    pub runs: Vec<RunResult>,
 }
 
 /// Measures the functional characteristics of `bench`.
@@ -74,7 +77,7 @@ pub fn run(cfg: &SimConfig) -> Table4 {
             }
         })
         .collect();
-    Table4 { rows }
+    Table4 { rows, runs: timing }
 }
 
 impl Table4 {

@@ -29,7 +29,7 @@ pub mod runner;
 pub mod system;
 
 pub use arch::Arch;
-pub use config::SimConfig;
+pub use config::{fast_forward_from_env, SimConfig};
 pub use determinism::{check_determinism, digest_run, Divergence, Fnv1a};
-pub use runner::{run_one, RunResult};
+pub use runner::{run_grid, run_many, run_many_with, run_one, sweep_threads, RunResult};
 pub use system::{run_system, SystemResult};

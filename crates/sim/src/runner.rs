@@ -1,10 +1,22 @@
 //! Run execution and parallel sweeps.
+//!
+//! [`run_many`] fans a list of (architecture, benchmark) points over a
+//! bounded `std::thread::scope` worker pool; results always come back in
+//! input order, so report output is byte-identical regardless of how the
+//! OS schedules the workers. [`run_grid`] wraps the same sweep in a
+//! deterministically ordered `BTreeMap`. The worker count comes from
+//! `MILLIPEDE_SWEEP_THREADS` (or the host's available parallelism);
+//! `MILLIPEDE_SWEEP_THREADS=1` reproduces the serial baseline exactly.
 
 use crate::arch::Arch;
 use crate::config::SimConfig;
 use millipede_core::NodeResult;
 use millipede_energy::EnergyBreakdown;
 use millipede_workloads::{Benchmark, Workload};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// One completed run: architecture, benchmark, timing, and energy.
 #[derive(Debug, Clone)]
@@ -17,6 +29,10 @@ pub struct RunResult {
     pub node: NodeResult,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Host wall-clock time this point took to simulate. Profiling
+    /// metadata only: never feeds digests, tables, or any simulated
+    /// quantity.
+    pub wall: Duration,
 }
 
 impl RunResult {
@@ -33,6 +49,7 @@ impl RunResult {
 
 /// Runs `bench` on `arch`, attaching energy numbers.
 pub fn run_one(arch: Arch, bench: Benchmark, cfg: &SimConfig) -> RunResult {
+    let start = std::time::Instant::now();
     let workload = Workload::build(bench, cfg.num_chunks, cfg.row_bytes, cfg.seed);
     let node = arch.run(&workload, cfg);
     assert!(
@@ -55,22 +72,86 @@ pub fn run_one(arch: Arch, bench: Benchmark, cfg: &SimConfig) -> RunResult {
         bench,
         node,
         energy,
+        wall: start.elapsed(),
     }
 }
 
-/// Runs a set of (arch, bench) pairs in parallel threads, preserving input
-/// order in the output.
+/// Sweep worker count: `MILLIPEDE_SWEEP_THREADS` if set (minimum 1),
+/// otherwise the host's available parallelism.
+pub fn sweep_threads() -> usize {
+    match std::env::var("MILLIPEDE_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    }
+}
+
+/// Runs a set of (arch, bench) pairs over [`sweep_threads`] workers,
+/// preserving input order in the output.
 pub fn run_many(pairs: &[(Arch, Benchmark)], cfg: &SimConfig) -> Vec<RunResult> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = pairs
+    run_many_with(pairs, cfg, sweep_threads())
+}
+
+/// Runs a set of (arch, bench) pairs over at most `threads` scoped worker
+/// threads, preserving input order in the output.
+///
+/// Workers claim points from a shared atomic cursor, so an expensive point
+/// never serializes the rest of the grid behind it. Every simulation is a
+/// pure function of `(arch, bench, cfg)`; the only scheduling-dependent
+/// quantity is the `wall` profiling field, so the returned vector —
+/// reassembled in input order — is identical for any worker count.
+pub fn run_many_with(
+    pairs: &[(Arch, Benchmark)],
+    cfg: &SimConfig,
+    threads: usize,
+) -> Vec<RunResult> {
+    if threads <= 1 || pairs.len() <= 1 {
+        return pairs
             .iter()
-            .map(|&(arch, bench)| scope.spawn(move || run_one(arch, bench, cfg)))
+            .map(|&(arch, bench)| run_one(arch, bench, cfg))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect()
-    })
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(pairs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(pairs.len()) {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(arch, bench)) = pairs.get(idx) else {
+                    break;
+                };
+                let result = run_one(arch, bench, cfg);
+                slots
+                    .lock()
+                    .expect("sweep result mutex poisoned")
+                    .push((idx, result));
+            });
+        }
+    });
+    let mut indexed = slots.into_inner().expect("sweep result mutex poisoned");
+    indexed.sort_unstable_by_key(|(idx, _)| *idx);
+    assert_eq!(indexed.len(), pairs.len(), "sweep lost a point");
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the full (architecture × benchmark) grid into a deterministically
+/// ordered map — iteration order is `(Arch, Benchmark)` declaration order
+/// regardless of how the parallel workers were scheduled.
+pub fn run_grid(
+    archs: &[Arch],
+    benches: &[Benchmark],
+    cfg: &SimConfig,
+) -> BTreeMap<(Arch, Benchmark), RunResult> {
+    let pairs: Vec<(Arch, Benchmark)> = archs
+        .iter()
+        .flat_map(|&a| benches.iter().map(move |&b| (a, b)))
+        .collect();
+    run_many(&pairs, cfg)
+        .into_iter()
+        .map(|r| ((r.arch, r.bench), r))
+        .collect()
 }
 
 /// Runs every Fig. 3 architecture on every benchmark (the workhorse sweep
@@ -114,6 +195,48 @@ mod tests {
         assert_eq!(rs[0].bench, Benchmark::Count);
         assert_eq!(rs[1].arch, Arch::Ssmc);
         assert_eq!(rs[1].bench, Benchmark::Sample);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let cfg = tiny();
+        let pairs = [
+            (Arch::Millipede, Benchmark::Count),
+            (Arch::Gpgpu, Benchmark::Sample),
+            (Arch::Ssmc, Benchmark::Count),
+            (Arch::Vws, Benchmark::Sample),
+        ];
+        let serial = run_many_with(&pairs, &cfg, 1);
+        let parallel = run_many_with(&pairs, &cfg, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!((s.arch, s.bench), (p.arch, p.bench));
+            assert_eq!(s.node.elapsed_ps, p.node.elapsed_ps);
+            assert_eq!(s.node.stats, p.node.stats);
+            assert_eq!(s.node.dram, p.node.dram);
+            assert_eq!(s.node.output, p.node.output);
+            assert_eq!(s.energy.total_pj(), p.energy.total_pj());
+        }
+    }
+
+    #[test]
+    fn run_grid_orders_deterministically() {
+        let cfg = tiny();
+        let grid = run_grid(
+            &[Arch::Ssmc, Arch::Gpgpu],
+            &[Benchmark::Sample, Benchmark::Count],
+            &cfg,
+        );
+        let keys: Vec<_> = grid.keys().copied().collect();
+        assert_eq!(
+            keys,
+            vec![
+                (Arch::Gpgpu, Benchmark::Count),
+                (Arch::Gpgpu, Benchmark::Sample),
+                (Arch::Ssmc, Benchmark::Count),
+                (Arch::Ssmc, Benchmark::Sample),
+            ]
+        );
     }
 
     #[test]

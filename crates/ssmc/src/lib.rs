@@ -64,6 +64,9 @@ pub struct SsmcConfig {
     pub dram_queue: usize,
     /// Deadlock guard.
     pub max_idle_cycles: u64,
+    /// Idle-cycle fast-forward (bit-exact; see DESIGN.md). Off reproduces
+    /// the cycle-by-cycle schedule for differential testing.
+    pub fast_forward: bool,
 }
 
 impl Default for SsmcConfig {
@@ -81,6 +84,7 @@ impl Default for SsmcConfig {
             timing: DramTiming::default(),
             dram_queue: 16,
             max_idle_cycles: 2_000_000,
+            fast_forward: true,
         }
     }
 }
@@ -192,6 +196,23 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
     let mut cycle: u64 = 0;
     let mut idle_streak: u64 = 0;
     let mut last_time: TimePs = 0;
+    // L1 misses the skipped edges would have re-counted (stalled contexts
+    // re-probe their missing block every cycle); folded into
+    // `stats.l1_misses` at the end so fast-forward stays bit-exact.
+    let mut ff_l1_misses: u64 = 0;
+
+    // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
+    // every observable compute-edge mutation either bumps one of these
+    // monotone counters (prefetch, stall transition, demand fetch) or
+    // advances the monotone prefetcher/demand cursors included in the sum.
+    // L1 demand-miss recounting is deliberately excluded — it *does* recur
+    // on stalled edges and is replayed via `ff_l1_misses` instead. (Repeat
+    // misses never touch LRU state, so only the counter is observable.)
+    let fingerprint = |stats: &CoreStats, cores: &[Core]| -> u64 {
+        let cursors: u64 = cores.iter().map(|c| c.pf.next_row + c.demand_row).sum();
+        stats.prefetches + stats.demand_stalls + stats.demand_fetches + cursors
+    };
+    let l1_misses = |cores: &[Core]| -> u64 { cores.iter().map(|c| c.l1.stats().misses).sum() };
 
     // Completion tags: core index (slab fills are per-core).
     while halted < total_threads {
@@ -199,6 +220,8 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
             Edge::Compute(now) => {
                 last_time = now;
                 cycle += 1;
+                let fp_before = fingerprint(&stats, &cores);
+                let misses_before = l1_misses(&cores);
                 let mut any_issued = false;
                 for c in 0..cfg.cores {
                     stats.issue_slots += 1;
@@ -225,6 +248,21 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                     idle_streak <= cfg.max_idle_cycles,
                     "SSMC deadlock: no issue for {idle_streak} cycles"
                 );
+                if cfg.fast_forward && !any_issued && fingerprint(&stats, &cores) == fp_before {
+                    if let Some(event) = mc.next_event_at() {
+                        let skipped = clock.fast_forward(event);
+                        ff_l1_misses += (l1_misses(&cores) - misses_before) * skipped;
+                        cycle += skipped;
+                        stats.ff_skipped_cycles += skipped;
+                        stats.issue_slots += skipped * cfg.cores as u64;
+                        stats.stall_slots += skipped * cfg.cores as u64;
+                        idle_streak += skipped;
+                        assert!(
+                            idle_streak <= cfg.max_idle_cycles,
+                            "SSMC deadlock: no issue for {idle_streak} cycles"
+                        );
+                    }
+                }
             }
             Edge::Channel(now) => {
                 last_time = now;
@@ -250,6 +288,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         stats.l1_hits += core.l1.stats().hits;
         stats.l1_misses += core.l1.stats().misses;
     }
+    stats.l1_misses += ff_l1_misses;
     mc.timing_audit().assert_clean("SSMC memory controller");
     NodeResult {
         stats,
@@ -450,6 +489,32 @@ mod tests {
             (r.stats.prefetches + r.stats.demand_fetches) * 64,
             w.dataset.total_bytes()
         );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_exact() {
+        for bench in [Benchmark::Count, Benchmark::Variance] {
+            let w = small(bench);
+            let slow = run(
+                &w,
+                &SsmcConfig {
+                    fast_forward: false,
+                    ..SsmcConfig::default()
+                },
+            );
+            let fast = run(&w, &SsmcConfig::default());
+            assert_eq!(slow.stats.ff_skipped_cycles, 0);
+            assert!(
+                fast.stats.ff_skipped_cycles > 0,
+                "{bench:?}: fast-forward never engaged"
+            );
+            let mut fs = fast.stats.clone();
+            fs.ff_skipped_cycles = 0;
+            assert_eq!(fs, slow.stats, "{bench:?}: stats diverged");
+            assert_eq!(fast.dram, slow.dram, "{bench:?}: DRAM stats diverged");
+            assert_eq!(fast.elapsed_ps, slow.elapsed_ps);
+            assert_eq!(fast.output, slow.output);
+        }
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Differential tests for idle-cycle fast-forwarding and parallel sweeps.
+//!
+//! Fast-forwarding (DESIGN.md, "Idle-cycle fast-forward") claims to be a
+//! pure wall-clock optimization: a fast-forwarded run must be *bit
+//! identical* to its cycle-by-cycle baseline in every observable quantity —
+//! digests, per-domain cycle accounting, DRAM counters, energy, and reduced
+//! output. Likewise the parallel sweep harness must return exactly what the
+//! serial loop returns. This suite checks both claims across every
+//! architecture variant, so CI can run it under `MILLIPEDE_FASTFORWARD=0`
+//! and `=1` and catch a regression in either mode.
+
+use millipede_sim::{digest_run, run_many_with, run_one, Arch, SimConfig};
+use millipede_workloads::Benchmark;
+
+const ALL_ARCHS: [Arch; 8] = [
+    Arch::Gpgpu,
+    Arch::Vws,
+    Arch::Ssmc,
+    Arch::MillipedeNoFlowControl,
+    Arch::VwsRow,
+    Arch::MillipedeNoRateMatch,
+    Arch::Millipede,
+    Arch::Multicore,
+];
+
+fn config(fast_forward: bool) -> SimConfig {
+    SimConfig {
+        num_chunks: 4,
+        fast_forward,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn fast_forward_is_observably_invisible_on_every_arch() {
+    let slow_cfg = config(false);
+    let fast_cfg = config(true);
+    let mut any_skipped = false;
+    for arch in ALL_ARCHS {
+        for bench in [Benchmark::Count, Benchmark::Sample] {
+            let slow = run_one(arch, bench, &slow_cfg);
+            let fast = run_one(arch, bench, &fast_cfg);
+            let label = format!("{} on {}", arch.label(), bench.name());
+
+            // The baseline must never fast-forward; the optimized run may.
+            assert_eq!(slow.node.stats.ff_skipped_cycles, 0, "{label}");
+            any_skipped |= fast.node.stats.ff_skipped_cycles > 0;
+
+            // Full observable equality, digest first for a compact witness.
+            assert_eq!(digest_run(&slow), digest_run(&fast), "{label}");
+
+            // Per-domain cycle accounting must match *exactly*: skipped
+            // compute cycles still count as compute cycles, and the channel
+            // domain's time base is untouched.
+            let (s, f) = (&slow.node.stats, &fast.node.stats);
+            assert_eq!(s.compute_cycles, f.compute_cycles, "{label}");
+            assert_eq!(s.issue_slots, f.issue_slots, "{label}");
+            assert_eq!(s.stall_slots, f.stall_slots, "{label}");
+            assert_eq!(slow.node.elapsed_ps, fast.node.elapsed_ps, "{label}");
+            assert_eq!(slow.node.dram, fast.node.dram, "{label}");
+            assert_eq!(slow.node.output, fast.node.output, "{label}");
+        }
+    }
+    assert!(
+        any_skipped,
+        "no variant engaged the fast-forward path — the differential \
+         would be vacuous"
+    );
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_identical() {
+    let cfg = config(true);
+    let pairs: Vec<(Arch, Benchmark)> = ALL_ARCHS
+        .iter()
+        .map(|&a| (a, Benchmark::Count))
+        .chain([(Arch::Millipede, Benchmark::Sample)])
+        .collect();
+    let serial = run_many_with(&pairs, &cfg, 1);
+    let parallel = run_many_with(&pairs, &cfg, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!((s.arch, s.bench), (p.arch, p.bench));
+        assert_eq!(digest_run(s), digest_run(p), "{}", s.arch.label());
+        assert_eq!(s.node.stats, p.node.stats, "{}", s.arch.label());
+    }
+}
+
+#[test]
+fn env_toggle_reaches_the_default_config() {
+    // CI runs this suite under MILLIPEDE_FASTFORWARD=0 and =1; whichever
+    // mode is active, the default config must follow the env, and results
+    // must match an explicit config either way.
+    let env_cfg = SimConfig {
+        num_chunks: 2,
+        ..SimConfig::default()
+    };
+    assert_eq!(
+        env_cfg.fast_forward,
+        millipede_sim::fast_forward_from_env(),
+        "SimConfig::default must honour MILLIPEDE_FASTFORWARD"
+    );
+    let baseline = run_one(
+        Arch::Millipede,
+        Benchmark::Count,
+        &SimConfig {
+            fast_forward: false,
+            ..env_cfg.clone()
+        },
+    );
+    let from_env = run_one(Arch::Millipede, Benchmark::Count, &env_cfg);
+    assert_eq!(digest_run(&baseline), digest_run(&from_env));
+}

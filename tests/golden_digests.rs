@@ -1,0 +1,108 @@
+//! Golden-digest snapshot of every architecture variant.
+//!
+//! Pins the FNV-1a digest of the complete observable result
+//! ([`millipede_sim::digest_run`]) for all eight architecture variants on a
+//! small reference configuration. The digests capture every core counter,
+//! every DRAM counter, the picosecond runtime, the energy split, and the
+//! reduced output — so *any* behavioural change to *any* simulator layer
+//! shows up here as a digest mismatch.
+//!
+//! These values are intentionally independent of host and environment:
+//! idle-cycle fast-forwarding (DESIGN.md, "Idle-cycle fast-forward") is
+//! bit-exact by construction and its `ff_skipped_cycles` counter is
+//! excluded from the digest, so the pins hold under
+//! `MILLIPEDE_FASTFORWARD=0` and `=1` alike — CI runs this suite under
+//! both.
+//!
+//! If a change is *supposed* to alter simulated behaviour, re-pin: run this
+//! test, and each failure message prints the actual digest to paste in.
+
+use millipede_sim::{digest_run, run_one, Arch, SimConfig};
+use millipede_workloads::Benchmark;
+
+/// The reference configuration: small enough to run all variants in a few
+/// hundred milliseconds, large enough to exercise prefetch, flow control,
+/// and rate matching past their startup transients.
+fn reference_config() -> SimConfig {
+    SimConfig {
+        num_chunks: 4,
+        ..SimConfig::default()
+    }
+}
+
+/// `(arch, bench, pinned digest)` for the reference configuration.
+const GOLDEN: &[(Arch, Benchmark, u64)] = &[
+    (Arch::Gpgpu, Benchmark::Count, 0x6d7f787395bdbaf0),
+    (Arch::Vws, Benchmark::Count, 0xd4db1a0742b56bde),
+    (Arch::Ssmc, Benchmark::Count, 0x54ae9016e81b1e91),
+    (
+        Arch::MillipedeNoFlowControl,
+        Benchmark::Count,
+        0x4e75e015e0fd9b3e,
+    ),
+    (Arch::VwsRow, Benchmark::Count, 0xbd6d463439bc993f),
+    (
+        Arch::MillipedeNoRateMatch,
+        Benchmark::Count,
+        0x695f59d14266aa1c,
+    ),
+    (Arch::Millipede, Benchmark::Count, 0x1bf0a35db1c73f8c),
+    (Arch::Multicore, Benchmark::Count, 0x129e8c69bfd0782a),
+    (Arch::Gpgpu, Benchmark::Sample, 0xdb967dbde0e16dc5),
+    (Arch::Vws, Benchmark::Sample, 0x20d728a668dcebd5),
+    (Arch::Ssmc, Benchmark::Sample, 0x34fee896c6df7c54),
+    (
+        Arch::MillipedeNoFlowControl,
+        Benchmark::Sample,
+        0xcd336883b9bda3ff,
+    ),
+    (Arch::VwsRow, Benchmark::Sample, 0x814c07e47a4f8963),
+    (
+        Arch::MillipedeNoRateMatch,
+        Benchmark::Sample,
+        0x0bc211b012fda095,
+    ),
+    (Arch::Millipede, Benchmark::Sample, 0xc5fc82864f4e07c0),
+    (Arch::Multicore, Benchmark::Sample, 0xbbba073acf853af9),
+];
+
+#[test]
+fn golden_digests_hold_for_every_arch() {
+    let cfg = reference_config();
+    let mut failures = Vec::new();
+    for &(arch, bench, expected) in GOLDEN {
+        let digest = digest_run(&run_one(arch, bench, &cfg));
+        if digest != expected {
+            failures.push(format!(
+                "({arch:?}, {bench:?}): pinned {expected:#018x}, got {digest:#018x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden digests diverged (if intentional, re-pin with the values \
+         below):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_table_covers_every_variant() {
+    // The snapshot must never silently lose coverage of a variant.
+    for arch in [
+        Arch::Gpgpu,
+        Arch::Vws,
+        Arch::Ssmc,
+        Arch::MillipedeNoFlowControl,
+        Arch::VwsRow,
+        Arch::MillipedeNoRateMatch,
+        Arch::Millipede,
+        Arch::Multicore,
+    ] {
+        assert!(
+            GOLDEN.iter().filter(|(a, _, _)| *a == arch).count() >= 2,
+            "{} missing from the golden table",
+            arch.label()
+        );
+    }
+}

@@ -1,55 +1,96 @@
 //! Property-based tests over the core data structures' invariants.
 //!
-//! Gated behind the `proptest` feature because the external `proptest`
-//! crate is unavailable in the offline build environment. To run: restore
-//! `proptest = "1"` under `[dev-dependencies]` in the root manifest and
-//! `cargo test --features proptest`.
-#![cfg(feature = "proptest")]
+//! Originally written against the external `proptest` crate, which the
+//! offline build environment cannot fetch; rather than leave the suite
+//! permanently feature-gated off, the generators are reimplemented on a
+//! tiny in-repo seeded xorshift PRNG. Every case derives deterministically
+//! from a fixed seed, so failures reproduce exactly — re-run the test and
+//! the printed case number identifies the failing input.
 
 use millipede::core_arch::pbuf::{ConsumeOutcome, Lookup, RowPrefetchBuffer};
 use millipede::dram::{DramGeometry, DramTiming, MemoryController, Request};
 use millipede::isa::reg::r;
 use millipede::isa::{assemble, disassemble, AluOp, CmpOp, Instr, Program};
 use millipede::mapreduce::{InterleavedLayout, ThreadGrid};
-use proptest::prelude::*;
+
+/// xorshift64* — a tiny, seedable, statistically decent PRNG; good enough
+/// to explore input spaces, with none of proptest's shrinking (the spaces
+/// here are small enough that the printed case number suffices).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        // Avoid the all-zeros fixed point and decorrelate small seeds.
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[lo, hi)`. The modulo bias is irrelevant at these range
+    /// sizes (≪ 2⁶⁴).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize_in(0, xs.len())]
+    }
+}
 
 // ---------------------------------------------------------------------
 // Interleaved layout: the address map is a bijection.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn layout_addresses_are_unique_and_in_bounds(
-        fields in 1usize..8,
-        chunks in 1usize..4,
-        row_words_log2 in 4u32..8,
-    ) {
-        let row_bytes = 4u64 << row_words_log2;
+#[test]
+fn layout_addresses_are_unique_and_in_bounds() {
+    let mut rng = Rng::new(101);
+    for case in 0..64 {
+        let fields = rng.usize_in(1, 8);
+        let chunks = rng.usize_in(1, 4);
+        let row_bytes = 4u64 << rng.range(4, 8);
         let layout = InterleavedLayout::new(fields, row_bytes, chunks);
         let mut seen = std::collections::HashSet::new();
         for rec in 0..layout.num_records() {
             for f in 0..fields {
                 let a = layout.addr_of(rec, f);
-                prop_assert!(a.is_multiple_of(4));
-                prop_assert!(a + 4 <= layout.total_bytes());
-                prop_assert!(seen.insert(a), "duplicate address {a}");
+                assert!(a.is_multiple_of(4), "case {case}: misaligned {a}");
+                assert!(a + 4 <= layout.total_bytes(), "case {case}");
+                assert!(seen.insert(a), "case {case}: duplicate address {a}");
             }
         }
-        prop_assert_eq!(seen.len() as u64, layout.total_bytes() / 4);
+        assert_eq!(seen.len() as u64, layout.total_bytes() / 4, "case {case}");
     }
+}
 
-    #[test]
-    fn same_field_of_chunk_neighbours_shares_a_row(
-        fields in 1usize..8,
-        chunks in 1usize..4,
-    ) {
+#[test]
+fn same_field_of_chunk_neighbours_shares_a_row() {
+    let mut rng = Rng::new(102);
+    for case in 0..32 {
+        let fields = rng.usize_in(1, 8);
+        let chunks = rng.usize_in(1, 4);
         let layout = InterleavedLayout::new(fields, 2048, chunks);
         for chunk in 0..chunks {
             let base = chunk * layout.row_words();
             for f in 0..fields {
                 let row = layout.addr_of(base, f) / 2048;
                 for rec in base..base + layout.row_words() {
-                    prop_assert_eq!(layout.addr_of(rec, f) / 2048, row);
+                    assert_eq!(layout.addr_of(rec, f) / 2048, row, "case {case}");
                 }
             }
         }
@@ -61,33 +102,39 @@ proptest! {
 // with the same per-thread record counts.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn grids_partition_records(
-        corelets_log2 in 2u32..7,
-        contexts_log2 in 0u32..3,
-        fields in 1usize..4,
-        chunks in 1usize..3,
-    ) {
-        let corelets = 1usize << corelets_log2;
-        let contexts = 1usize << contexts_log2;
+#[test]
+fn grids_partition_records() {
+    let mut rng = Rng::new(103);
+    let mut checked = 0;
+    for case in 0..256 {
+        let corelets = 1usize << rng.range(2, 7);
+        let contexts = 1usize << rng.range(0, 3);
+        let fields = rng.usize_in(1, 4);
+        let chunks = rng.usize_in(1, 3);
         let layout = InterleavedLayout::new(fields, 2048, chunks);
-        prop_assume!(layout.row_words().is_multiple_of(corelets * contexts));
-        for grid in [ThreadGrid::slab(corelets, contexts), ThreadGrid::coalesced(corelets, contexts)] {
+        if !layout.row_words().is_multiple_of(corelets * contexts) {
+            continue; // the grid requires an even split; skip, like prop_assume
+        }
+        checked += 1;
+        for grid in [
+            ThreadGrid::slab(corelets, contexts),
+            ThreadGrid::coalesced(corelets, contexts),
+        ] {
             let mut seen = vec![0u8; layout.num_records()];
             let per_thread = layout.num_records() / grid.num_threads();
             for c in 0..corelets {
                 for x in 0..contexts {
                     let recs = grid.records_of_thread(&layout, c, x);
-                    prop_assert_eq!(recs.len(), per_thread);
+                    assert_eq!(recs.len(), per_thread, "case {case}");
                     for rec in recs {
                         seen[rec] += 1;
                     }
                 }
             }
-            prop_assert!(seen.iter().all(|&n| n == 1));
+            assert!(seen.iter().all(|&n| n == 1), "case {case}");
         }
     }
+    assert!(checked >= 32, "only {checked} cases satisfied the split");
 }
 
 // ---------------------------------------------------------------------
@@ -96,16 +143,17 @@ proptest! {
 // prefetches every row exactly once.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn flow_control_liveness_and_safety(
-        capacity in 2usize..6,
-        groups in 1usize..4,
-        words in 1u32..4,
-        rows in 1u64..20,
-        schedule in proptest::collection::vec(0usize..4, 1..256),
-    ) {
+#[test]
+fn flow_control_liveness_and_safety() {
+    let mut rng = Rng::new(104);
+    for case in 0..64 {
+        let capacity = rng.usize_in(2, 6);
+        let groups = rng.usize_in(1, 4);
+        let words = rng.range(1, 4) as u32;
+        let rows = rng.range(1, 20);
+        let schedule: Vec<usize> = (0..rng.usize_in(1, 256))
+            .map(|_| rng.usize_in(0, 4))
+            .collect();
         let mut buf = RowPrefetchBuffer::new(capacity, groups, words, rows, true);
         // Per-group cursor: (row, words consumed of that row).
         let mut cursor = vec![(0u64, 0u32); groups];
@@ -114,7 +162,7 @@ proptest! {
         let budget = 40_000u64;
         while cursor.iter().any(|&(row, _)| row < rows) {
             steps += 1;
-            prop_assert!(steps < budget, "livelock: cursors {cursor:?}");
+            assert!(steps < budget, "case {case}: livelock, cursors {cursor:?}");
             // Fill pending fetches promptly (memory is instant here).
             for (slot, _row) in buf.take_fetches(usize::MAX) {
                 buf.fill_complete(slot);
@@ -122,9 +170,7 @@ proptest! {
             // Schedule-biased pick, but — like the processor's per-cycle
             // round-robin — every stalled group eventually yields to one
             // that can progress.
-            let busy: Vec<usize> = (0..groups)
-                .filter(|&g| cursor[g].0 < rows)
-                .collect();
+            let busy: Vec<usize> = (0..groups).filter(|&g| cursor[g].0 < rows).collect();
             let offset = sched.next().unwrap();
             let mut progressed = false;
             for k in 0..busy.len() {
@@ -135,29 +181,36 @@ proptest! {
                         let out: ConsumeOutcome = buf.consume(slot, g);
                         let _ = out;
                         let used = used + 1;
-                        cursor[g] = if used == words { (row + 1, 0) } else { (row, used) };
+                        cursor[g] = if used == words {
+                            (row + 1, 0)
+                        } else {
+                            (row, used)
+                        };
                         progressed = true;
                         break;
                     }
                     Lookup::Filling | Lookup::Future => {} // stall, try next group
-                    Lookup::Evicted => prop_assert!(false, "premature eviction under flow control"),
+                    Lookup::Evicted => {
+                        panic!("case {case}: premature eviction under flow control")
+                    }
                 }
             }
             if !progressed {
                 // No group could consume: fills must be in flight, or the
                 // buffer has deadlocked.
                 let pending = buf.take_fetches(usize::MAX);
-                prop_assert!(
+                assert!(
                     !pending.is_empty(),
-                    "deadlock: nothing consumable and nothing in flight ({cursor:?})"
+                    "case {case}: deadlock, nothing consumable and nothing \
+                     in flight ({cursor:?})"
                 );
                 for (slot, _row) in pending {
                     buf.fill_complete(slot);
                 }
             }
         }
-        prop_assert_eq!(buf.stats().prefetches, rows);
-        prop_assert_eq!(buf.stats().premature_evictions, 0);
+        assert_eq!(buf.stats().prefetches, rows, "case {case}");
+        assert_eq!(buf.stats().premature_evictions, 0, "case {case}");
     }
 }
 
@@ -166,57 +219,52 @@ proptest! {
 // round trip bit-for-bit.
 // ---------------------------------------------------------------------
 
-fn arb_instr(len: u32) -> impl Strategy<Value = Instr> {
-    let reg = (0u8..32).prop_map(r);
-    prop_oneof![
-        (
-            proptest::sample::select(AluOp::ALL.to_vec()),
-            reg.clone(),
-            reg.clone(),
-            reg.clone()
-        )
-            .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
-        (
-            proptest::sample::select(AluOp::ALL.to_vec()),
-            reg.clone(),
-            reg.clone(),
-            any::<i16>()
-        )
-            .prop_map(|(op, dst, a, imm)| Instr::AluI {
-                op,
-                dst,
-                a,
-                imm: imm as i32
-            }),
-        (reg.clone(), any::<u32>()).prop_map(|(dst, imm)| Instr::Li { dst, imm }),
-        (reg.clone(), reg.clone(), -64i32..64).prop_map(|(dst, addr, offset)| Instr::Ld {
-            dst,
-            addr,
-            offset: offset * 4,
+fn arb_instr(rng: &mut Rng, len: u32) -> Instr {
+    match rng.range(0, 6) {
+        0 => Instr::Alu {
+            op: *rng.pick(&AluOp::ALL),
+            dst: r(rng.range(0, 32) as u8),
+            a: r(rng.range(0, 32) as u8),
+            b: r(rng.range(0, 32) as u8),
+        },
+        1 => Instr::AluI {
+            op: *rng.pick(&AluOp::ALL),
+            dst: r(rng.range(0, 32) as u8),
+            a: r(rng.range(0, 32) as u8),
+            imm: rng.next_u32() as i16 as i32,
+        },
+        2 => Instr::Li {
+            dst: r(rng.range(0, 32) as u8),
+            imm: rng.next_u32(),
+        },
+        3 => Instr::Ld {
+            dst: r(rng.range(0, 32) as u8),
+            addr: r(rng.range(0, 32) as u8),
+            offset: (rng.range(0, 128) as i32 - 64) * 4,
             space: millipede::isa::AddrSpace::Local,
-        }),
-        (reg.clone(), reg.clone(), -64i32..64).prop_map(|(src, addr, offset)| Instr::St {
-            src,
-            addr,
-            offset: offset * 4
-        }),
-        (
-            proptest::sample::select(CmpOp::ALL.to_vec()),
-            reg.clone(),
-            reg,
-            0..len,
-        )
-            .prop_map(|(cmp, a, b, target)| Instr::Br { cmp, a, b, target }),
-    ]
+        },
+        4 => Instr::St {
+            src: r(rng.range(0, 32) as u8),
+            addr: r(rng.range(0, 32) as u8),
+            offset: (rng.range(0, 128) as i32 - 64) * 4,
+        },
+        _ => Instr::Br {
+            cmp: *rng.pick(&CmpOp::ALL),
+            a: r(rng.range(0, 32) as u8),
+            b: r(rng.range(0, 32) as u8),
+            target: rng.range(0, u64::from(len)) as u32,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn disassembly_round_trips(
-        body in proptest::collection::vec(arb_instr(16), 1..15)
-    ) {
+#[test]
+fn disassembly_round_trips() {
+    let mut rng = Rng::new(105);
+    for case in 0..128 {
+        let mut instrs: Vec<Instr> = (0..rng.usize_in(1, 15))
+            .map(|_| arb_instr(&mut rng, 16))
+            .collect();
         // Clamp branch targets into range and terminate with halt.
-        let mut instrs = body;
         let len = (instrs.len() + 1) as u32;
         for i in &mut instrs {
             if let Instr::Br { target, .. } = i {
@@ -227,7 +275,7 @@ proptest! {
         let p = Program::new("prop", instrs).unwrap();
         let text = disassemble(&p);
         let q = assemble("prop", &text).unwrap();
-        prop_assert_eq!(p.instrs(), q.instrs());
+        assert_eq!(p.instrs(), q.instrs(), "case {case}:\n{text}");
     }
 }
 
@@ -236,12 +284,13 @@ proptest! {
 // are conserved, and hits + misses == requests.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn controller_conserves_requests(
-        reqs in proptest::collection::vec((0u64..64, 1u64..5), 1..40)
-    ) {
+#[test]
+fn controller_conserves_requests() {
+    let mut rng = Rng::new(106);
+    for case in 0..64 {
+        let reqs: Vec<(u64, u64)> = (0..rng.usize_in(1, 40))
+            .map(|_| (rng.range(0, 64), rng.range(1, 5)))
+            .collect();
         let geometry = DramGeometry::default();
         let timing = DramTiming::default();
         let mut mc = MemoryController::new(geometry, timing);
@@ -261,7 +310,7 @@ proptest! {
         let mut guard = 0;
         while done.len() < total {
             guard += 1;
-            prop_assert!(guard < 1_000_000, "controller stalled");
+            assert!(guard < 1_000_000, "case {case}: controller stalled");
             if let Some(req) = pending.last().copied() {
                 if mc.try_push(req, now).is_ok() {
                     pending.pop();
@@ -273,12 +322,12 @@ proptest! {
         }
         let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
         tags.sort_unstable();
-        prop_assert_eq!(tags, (0..total as u64).collect::<Vec<_>>());
+        assert_eq!(tags, (0..total as u64).collect::<Vec<_>>(), "case {case}");
         let s = mc.stats();
-        prop_assert_eq!(s.requests, total as u64);
-        prop_assert_eq!(s.row_hits + s.row_misses, s.requests);
+        assert_eq!(s.requests, total as u64, "case {case}");
+        assert_eq!(s.row_hits + s.row_misses, s.requests, "case {case}");
         let bytes: u64 = reqs.iter().map(|&(_, q)| q * 512).sum();
-        prop_assert_eq!(s.bytes_transferred, bytes);
+        assert_eq!(s.bytes_transferred, bytes, "case {case}");
     }
 }
 
@@ -287,23 +336,30 @@ proptest! {
 // semantics where defined.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn alu_total_and_consistent(a in any::<u32>(), b in any::<u32>()) {
-        use millipede::engine::alu::eval_alu;
+#[test]
+fn alu_total_and_consistent() {
+    use millipede::engine::alu::eval_alu;
+    let mut rng = Rng::new(107);
+    let edges = [0u32, 1, 2, 0x7fff_ffff, 0x8000_0000, u32::MAX];
+    let mut pairs: Vec<(u32, u32)> = edges
+        .iter()
+        .flat_map(|&a| edges.iter().map(move |&b| (a, b)))
+        .collect();
+    pairs.extend((0..256).map(|_| (rng.next_u32(), rng.next_u32())));
+    for (a, b) in pairs {
         for op in AluOp::ALL {
             let v = eval_alu(op, a, b); // must not panic
             match op {
-                AluOp::Add => prop_assert_eq!(v, a.wrapping_add(b)),
-                AluOp::Xor => prop_assert_eq!(v, a ^ b),
-                AluOp::Slt => prop_assert_eq!(v, ((a as i32) < (b as i32)) as u32),
-                AluOp::Sltu => prop_assert_eq!(v, (a < b) as u32),
+                AluOp::Add => assert_eq!(v, a.wrapping_add(b)),
+                AluOp::Xor => assert_eq!(v, a ^ b),
+                AluOp::Slt => assert_eq!(v, u32::from((a as i32) < (b as i32))),
+                AluOp::Sltu => assert_eq!(v, u32::from(a < b)),
                 _ => {}
             }
         }
         // Branch comparisons are coherent: Lt and Ge partition (ints).
-        prop_assert_ne!(CmpOp::Lt.eval(a, b), CmpOp::Ge.eval(a, b));
-        prop_assert_ne!(CmpOp::Ltu.eval(a, b), CmpOp::Geu.eval(a, b));
-        prop_assert_ne!(CmpOp::Eq.eval(a, b), CmpOp::Ne.eval(a, b));
+        assert_ne!(CmpOp::Lt.eval(a, b), CmpOp::Ge.eval(a, b));
+        assert_ne!(CmpOp::Ltu.eval(a, b), CmpOp::Geu.eval(a, b));
+        assert_ne!(CmpOp::Eq.eval(a, b), CmpOp::Ne.eval(a, b));
     }
 }
