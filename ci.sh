@@ -18,7 +18,10 @@ echo "==> cargo clippy (workspace lints)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --offline --release
+# --workspace so the bench binaries the telemetry leg drives are built too
+# (the root manifest is both workspace and facade package, and a bare
+# `cargo build` would only build the facade).
+cargo build --offline --release --workspace
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
@@ -32,5 +35,29 @@ MILLIPEDE_FASTFORWARD=0 cargo test --offline -q -p millipede \
     --test fastforward_differential --test golden_digests
 MILLIPEDE_FASTFORWARD=1 cargo test --offline -q -p millipede \
     --test fastforward_differential --test golden_digests
+
+echo "==> telemetry (MILLIPEDE_TELEMETRY=1 digests + trace export)"
+# Telemetry is observational: the golden digests must hold with it on, and
+# the telemetry suite's own differentials must pass under the env toggle.
+MILLIPEDE_TELEMETRY=1 cargo test --offline -q -p millipede \
+    --test golden_digests --test telemetry
+# End-to-end: one bench with --trace-out must leave stdout byte-identical
+# to a plain run and emit JSON that a strict parser accepts.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/fig3 --chunks 2 --quiet > "$trace_dir/plain.out"
+./target/release/fig3 --chunks 2 --quiet \
+    --trace-out "$trace_dir/trace.json" > "$trace_dir/traced.out"
+cmp "$trace_dir/plain.out" "$trace_dir/traced.out"
+if command -v python3 > /dev/null; then
+    python3 - "$trace_dir/trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert any(e.get("ph") == "C" for e in events), "no counter samples"
+assert any(e.get("ph") == "X" for e in events), "no discrete events"
+print(f"trace OK: {len(events)} events")
+EOF
+fi
 
 echo "CI green."

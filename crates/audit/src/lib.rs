@@ -14,6 +14,7 @@
 //! | `unwrap-in-hot-path` | no `.unwrap()` / `.expect()` in non-test simulator hot paths |
 //! | `float-eq`         | no `==` / `!=` against floating-point literals |
 //! | `module-doc`       | every module starts with a `//!` doc comment |
+//! | `wall-clock`       | no `Instant` / `SystemTime` in telemetry code — every telemetry timestamp must be simulated time |
 //!
 //! A violation can be suppressed, with a reason, by a comment on the same
 //! line or the line above: `// audit:allow(<lint>): <reason>`.
@@ -42,16 +43,19 @@ pub enum Lint {
     FloatEq,
     /// Missing `//!` module documentation.
     ModuleDoc,
+    /// Host wall-clock (`Instant` / `SystemTime`) in telemetry code.
+    WallClock,
 }
 
 impl Lint {
     /// All lints, in diagnostic-catalogue order.
-    pub const ALL: [Lint; 5] = [
+    pub const ALL: [Lint; 6] = [
         Lint::CastTruncation,
         Lint::HashIteration,
         Lint::UnwrapInHotPath,
         Lint::FloatEq,
         Lint::ModuleDoc,
+        Lint::WallClock,
     ];
 
     /// The lint's kebab-case name, as used in `audit:allow(<name>)`.
@@ -62,6 +66,7 @@ impl Lint {
             Lint::UnwrapInHotPath => "unwrap-in-hot-path",
             Lint::FloatEq => "float-eq",
             Lint::ModuleDoc => "module-doc",
+            Lint::WallClock => "wall-clock",
         }
     }
 }
@@ -98,7 +103,7 @@ impl fmt::Display for Diagnostic {
 /// Crates whose non-test code is considered a simulator hot path for the
 /// `unwrap-in-hot-path` lint. Driver/CLI/bench crates may unwrap on user
 /// input; the cycle-level models may not.
-const HOT_PATH_CRATES: [&str; 7] = [
+const HOT_PATH_CRATES: [&str; 8] = [
     "crates/core",
     "crates/dram",
     "crates/mem",
@@ -106,7 +111,14 @@ const HOT_PATH_CRATES: [&str; 7] = [
     "crates/gpgpu",
     "crates/ssmc",
     "crates/multicore",
+    "crates/telemetry",
 ];
+
+/// Crates whose code must never read the host clock for the `wall-clock`
+/// lint. Telemetry output feeds determinism-sensitive artifacts (traces,
+/// CSVs, digest differentials), so every timestamp it records must come
+/// from the simulated clock.
+const NO_WALL_CLOCK_CRATES: [&str; 1] = ["crates/telemetry"];
 
 /// Identifier fragments that mark a line as cycle/timing arithmetic.
 fn is_timing_token(tok: &str) -> bool {
@@ -297,6 +309,7 @@ fn has_float_literal_comparison(code: &str) -> bool {
 pub fn scan_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let hot_path = HOT_PATH_CRATES.iter().any(|c| rel_path.starts_with(c));
+    let no_wall_clock = NO_WALL_CLOCK_CRATES.iter().any(|c| rel_path.starts_with(c));
     let hash_names: [String; 2] = [
         ["Hash", "Map"].concat(), // split so the auditor never flags itself
         ["Hash", "Set"].concat(),
@@ -382,6 +395,20 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
                     line: lineno,
                     lint: Lint::UnwrapInHotPath,
                     message: "unwrap/expect in simulator hot path; handle the failure case"
+                        .to_string(),
+                });
+            }
+
+            // wall-clock: host time sources in determinism-critical crates.
+            if no_wall_clock
+                && !allowed(Lint::WallClock)
+                && toks.iter().any(|t| *t == "Instant" || *t == "SystemTime")
+            {
+                diags.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    lint: Lint::WallClock,
+                    message: "host wall-clock in telemetry code; timestamps must be simulated time"
                         .to_string(),
                 });
             }
@@ -600,6 +627,27 @@ mod tests {
     fn allow_on_previous_line_carries() {
         let src = "//! D.\n// audit:allow(float-eq): sentinel comparison\nfn f(x: f64) -> bool { x == 0.0 }\n";
         assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoped_to_telemetry() {
+        let src = "//! D.\nfn f() -> std::time::Instant { std::time::Instant::now() }\n";
+        assert_eq!(
+            lints_of("crates/telemetry/src/x.rs", src),
+            vec![Lint::WallClock]
+        );
+        // Outside telemetry, host timing is fine (profiling wall times).
+        assert!(scan_source("crates/sim/src/x.rs", src).is_empty());
+        // SystemTime is equally forbidden.
+        let src = "//! D.\nuse std::time::SystemTime;\n";
+        assert_eq!(
+            lints_of("crates/telemetry/src/x.rs", src),
+            vec![Lint::WallClock]
+        );
+        // And the escape hatch works.
+        let src =
+            "//! D.\n// audit:allow(wall-clock): doc example only\nuse std::time::SystemTime;\n";
+        assert!(scan_source("crates/telemetry/src/x.rs", src).is_empty());
     }
 
     #[test]

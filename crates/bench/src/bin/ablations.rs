@@ -11,7 +11,7 @@ fn main() {
     let rendered = millipede_sim::experiments::ablations::render_all(&args.cfg);
     let wall = start.elapsed();
     println!("{rendered}");
-    if args.profile {
+    if args.profile && !args.quiet {
         // The ablations drive the architecture models directly (no
         // RunResult sweep), so only the section wall time is meaningful.
         eprintln!("ablations wall: {:.1} ms", wall.as_secs_f64() * 1e3);

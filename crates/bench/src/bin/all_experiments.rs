@@ -20,7 +20,7 @@ fn section<T>(profile: bool, name: &str, f: impl FnOnce() -> T) -> T {
 fn main() {
     let args = millipede_bench::parse();
     let cfg = &args.cfg;
-    let profile = args.profile;
+    let profile = args.profile && !args.quiet;
     let total = Instant::now();
     println!(
         "Millipede reproduction — full evaluation ({} chunks, seed {})\n",
@@ -40,9 +40,11 @@ fn main() {
         millipede_sim::experiments::fig3::run(cfg)
     });
     println!("{}", f3.render());
-    if profile {
+    {
+        // Per-point profile, telemetry summary, and `--trace-out` cover the
+        // Fig. 3 sweep — the one section that retains its runs.
         let runs: Vec<_> = f3.runs.iter().flatten().collect();
-        eprint!("{}", millipede_sim::report::profile(&runs));
+        millipede_bench::report(&args, &runs);
     }
     println!("Fig. 4 — Energy (relative to GPGPU)\n");
     let f4 = section(profile, "fig4", || {

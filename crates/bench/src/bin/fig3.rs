@@ -11,8 +11,6 @@ fn main() {
         );
         println!("{}", fig.render());
     }
-    if args.profile {
-        let runs: Vec<_> = fig.runs.iter().flatten().collect();
-        eprint!("{}", millipede_sim::report::profile(&runs));
-    }
+    let runs: Vec<_> = fig.runs.iter().flatten().collect();
+    millipede_bench::report(&args, &runs);
 }

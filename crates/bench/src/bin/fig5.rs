@@ -9,7 +9,7 @@ fn main() {
         args.cfg.num_chunks
     );
     println!("{}", fig.render());
-    if args.profile {
+    if args.profile && !args.quiet {
         // Fig. 5 simulates whole 32-node systems, not single sweep points,
         // so only the section wall time is meaningful here.
         eprintln!("fig5 wall: {:.1} ms", wall.as_secs_f64() * 1e3);

@@ -8,8 +8,6 @@ fn main() {
         println!("Fig. 7 — Millipede speedup vs prefetch-buffer count (normalized to 2 entries, {} chunks)\n", args.cfg.num_chunks);
         println!("{}", fig.render());
     }
-    if args.profile {
-        let runs: Vec<_> = fig.runs.iter().flatten().collect();
-        eprint!("{}", millipede_sim::report::profile(&runs));
-    }
+    let runs: Vec<_> = fig.runs.iter().flatten().collect();
+    millipede_bench::report(&args, &runs);
 }

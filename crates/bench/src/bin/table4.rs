@@ -11,8 +11,6 @@ fn main() {
         );
         println!("{}", t.render());
     }
-    if args.profile {
-        let runs: Vec<_> = t.runs.iter().collect();
-        eprint!("{}", millipede_sim::report::profile(&runs));
-    }
+    let runs: Vec<_> = t.runs.iter().collect();
+    millipede_bench::report(&args, &runs);
 }

@@ -3,28 +3,39 @@
 //! Every binary accepts the same optional arguments:
 //!
 //! ```text
-//! <bin> [--chunks N] [--seed S] [--csv] [--profile]
+//! <bin> [--chunks N] [--seed S] [--csv] [--profile] [--quiet]
+//!       [--trace-out PATH] [--telemetry-epoch CYCLES]
 //! ```
 //!
 //! and prints the regenerated table to stdout. `--profile` prints a host
 //! wall-time / fast-forward profile of the underlying sweep to **stderr**
-//! (stdout stays byte-identical with or without it). The defaults match
-//! `SimConfig::default()` (48 chunks ≈ 1.5–6 MB of input depending on the
-//! benchmark's record arity — well past the steady state the paper argues
-//! for, §V).
+//! (stdout stays byte-identical with or without it). `--trace-out` enables
+//! cycle-domain telemetry and writes a combined Chrome-trace/Perfetto JSON
+//! for the sweep; `--telemetry-epoch` sets the sampling epoch in compute
+//! cycles (and also enables telemetry). `--quiet` suppresses all stderr
+//! reporting. The defaults match `SimConfig::default()` (48 chunks ≈
+//! 1.5–6 MB of input depending on the benchmark's record arity — well past
+//! the steady state the paper argues for, §V).
 
-use millipede_sim::SimConfig;
+use millipede_sim::{RunResult, SimConfig, TelemetryConfig};
+use std::path::PathBuf;
 
 /// Parsed command-line arguments shared by the experiment binaries.
 #[derive(Debug, Clone)]
 pub struct Args {
-    /// The simulation configuration (`--chunks`, `--seed`).
+    /// The simulation configuration (`--chunks`, `--seed`,
+    /// `--telemetry-epoch`).
     pub cfg: SimConfig,
     /// Emit CSV instead of an aligned table (`--csv`).
     pub csv: bool,
     /// Print a host wall-time / fast-forward profile to stderr
     /// (`--profile`).
     pub profile: bool,
+    /// Suppress all stderr reporting (`--quiet`).
+    pub quiet: bool,
+    /// Write a Chrome-trace/Perfetto JSON of the sweep's telemetry here
+    /// (`--trace-out`; implies telemetry on).
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Parses the common `--chunks` / `--seed` arguments.
@@ -40,11 +51,13 @@ pub fn config_and_format_from_args() -> (SimConfig, bool) {
 }
 
 /// Parses all shared arguments: `--chunks`, `--seed`, `--csv`,
-/// `--profile`.
+/// `--profile`, `--quiet`, `--trace-out`, `--telemetry-epoch`.
 pub fn parse() -> Args {
     let mut cfg = SimConfig::default();
     let mut csv = false;
     let mut profile = false;
+    let mut quiet = false;
+    let mut trace_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -65,15 +78,69 @@ pub fn parse() -> Args {
             }
             "--csv" => csv = true,
             "--profile" => profile = true,
+            "--quiet" => quiet = true,
+            "--trace-out" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .filter(|p| !p.is_empty())
+                    .unwrap_or_else(|| usage("--trace-out needs a file path"));
+                trace_out = Some(PathBuf::from(path));
+                cfg.telemetry.enabled = true;
+            }
+            "--telemetry-epoch" => {
+                i += 1;
+                let epoch: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&e| e > 0)
+                    .unwrap_or_else(|| usage("--telemetry-epoch needs a positive cycle count"));
+                cfg.telemetry = TelemetryConfig::enabled_with_epoch(epoch);
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
-    Args { cfg, csv, profile }
+    Args {
+        cfg,
+        csv,
+        profile,
+        quiet,
+        trace_out,
+    }
+}
+
+/// Shared post-sweep reporting: the `--profile` table and the telemetry
+/// summary go to stderr (suppressed by `--quiet`; stdout is never
+/// touched), and the combined Chrome trace is written to `--trace-out`
+/// when requested.
+pub fn report(args: &Args, runs: &[&RunResult]) {
+    if args.profile && !args.quiet {
+        eprint!("{}", millipede_sim::report::profile(runs));
+    }
+    if !args.quiet {
+        let summary = millipede_sim::report::telemetry_summary(runs);
+        if !summary.is_empty() {
+            eprint!("{summary}");
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = millipede_sim::report::chrome_trace(runs);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: could not write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        if !args.quiet {
+            eprintln!("wrote Chrome trace to {}", path.display());
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: <bin> [--chunks N] [--seed S] [--csv] [--profile]");
+    eprintln!(
+        "error: {msg}\nusage: <bin> [--chunks N] [--seed S] [--csv] [--profile] [--quiet] \
+         [--trace-out PATH] [--telemetry-epoch CYCLES]"
+    );
     std::process::exit(2);
 }
 

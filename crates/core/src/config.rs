@@ -1,6 +1,7 @@
 //! Millipede processor configuration (Table III defaults).
 
 use millipede_dram::{DramGeometry, DramTiming};
+use millipede_telemetry::TelemetryConfig;
 
 /// Configuration of one Millipede processor and its DRAM channel.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ pub struct MillipedeConfig {
     /// are bit-identical either way (see DESIGN.md); off reproduces the
     /// original cycle-by-cycle schedule for differential testing.
     pub fast_forward: bool,
+    /// Cycle-domain telemetry (off by default; `MILLIPEDE_TELEMETRY=1`
+    /// enables it). Purely observational: results and determinism digests
+    /// are bit-identical with telemetry on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for MillipedeConfig {
@@ -70,6 +75,7 @@ impl Default for MillipedeConfig {
             invariant_checks: cfg!(debug_assertions),
             wide_columns: false,
             fast_forward: true,
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }

@@ -161,6 +161,13 @@ impl RowPrefetchBuffer {
         self.capacity
     }
 
+    /// Live (allocated, not yet fully consumed) entries — the occupancy the
+    /// telemetry layer samples. Between 0 and [`RowPrefetchBuffer::capacity`]
+    /// under flow control; demand wrap can exceed it transiently without.
+    pub fn occupancy(&self) -> u64 {
+        self.live_len()
+    }
+
     /// Buffer statistics.
     pub fn stats(&self) -> &PbufStats {
         &self.stats

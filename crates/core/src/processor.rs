@@ -30,10 +30,12 @@ mod run_impl {
     use super::*;
     use millipede_engine::step::effective_access;
     use millipede_engine::{
-        period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
+        mhz_for_period_ps, period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect,
+        ThreadCtx,
     };
     use millipede_isa::AddrSpace;
     use millipede_mapreduce::ThreadGrid;
+    use millipede_telemetry::Telemetry;
     use millipede_workloads::Workload;
     use std::collections::BTreeMap;
 
@@ -129,6 +131,9 @@ mod run_impl {
         let mut cycle: u64 = 0;
         let mut idle_streak: u64 = 0;
         let mut last_time: TimePs = 0;
+        let mut tel = Telemetry::new(&cfg.telemetry);
+        // Rate-matcher trace entries already converted to freq_step events.
+        let mut rate_drained = 0usize;
 
         // Quiescence fingerprint: a sum of monotone counters that every
         // observable compute-edge state change bumps (prefetch push,
@@ -158,6 +163,7 @@ mod run_impl {
                     last_time = now;
                     cycle += 1;
                     let fp_before = fingerprint(&stats, &pbuf);
+                    let tel_flow_blocks_before = pbuf.stats().flow_blocks;
                     // Hand pending row prefetches to the controller.
                     while mc.free_slots() > 0 {
                         let fetches = pbuf.take_fetches(1);
@@ -210,6 +216,7 @@ mod run_impl {
                         idle_streak,
                         pbuf.stats()
                     );
+                    let pre_ff_cycle = cycle;
                     if cfg.fast_forward && !any_issued && fingerprint(&stats, &pbuf) == fp_before {
                         if let Some(event) = mc.next_event_at() {
                             let skipped = clock.fast_forward(event);
@@ -229,12 +236,101 @@ mod run_impl {
                             );
                         }
                     }
+                    // Telemetry: purely observational, never feeds back into
+                    // simulated state, bit-identical results on or off.
+                    if tel.enabled() {
+                        let trace = rate.trace();
+                        for &(at_cycle, mhz) in &trace[rate_drained..] {
+                            tel.event("core::rate", "freq_step", at_cycle, now, mhz);
+                        }
+                        rate_drained = trace.len();
+                        for _ in tel_flow_blocks_before..pbuf.stats().flow_blocks {
+                            tel.event("core::pbuf", "flow_block", pre_ff_cycle, now, 1.0);
+                        }
+                        // Epoch sampling. Cycles `pre_ff_cycle+1..=cycle`
+                        // (if any) were fast-forwarded: every skipped edge
+                        // was a proven no-op at constant compute period, so
+                        // a boundary inside the skip is reconstructed
+                        // exactly — its time is `now + offset·period` and
+                        // only the replayed per-cycle slot counters differ
+                        // from the current state (rewound linearly).
+                        let period = clock.compute_period();
+                        let slots_per_cycle = cfg.corelets as u64;
+                        while let Some(due) = tel.next_due(cycle) {
+                            let at = now + (due - pre_ff_cycle) * period;
+                            let rewind = (cycle - due) * slots_per_cycle;
+                            let p = pbuf.stats();
+                            let d = mc.stats();
+                            tel.counter(
+                                "core::pbuf",
+                                "occupancy",
+                                due,
+                                at,
+                                pbuf.occupancy() as f64,
+                            );
+                            tel.counter("core::pbuf", "flow_blocks", due, at, p.flow_blocks as f64);
+                            tel.counter(
+                                "core::pbuf",
+                                "demand_stalls",
+                                due,
+                                at,
+                                stats.demand_stalls as f64,
+                            );
+                            tel.counter(
+                                "core::rate",
+                                "frequency_mhz",
+                                due,
+                                at,
+                                mhz_for_period_ps(period),
+                            );
+                            tel.counter(
+                                "core::processor",
+                                "issue_slots",
+                                due,
+                                at,
+                                (stats.issue_slots - rewind) as f64,
+                            );
+                            tel.counter(
+                                "core::processor",
+                                "stall_slots",
+                                due,
+                                at,
+                                (stats.stall_slots - rewind) as f64,
+                            );
+                            tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
+                            tel.counter(
+                                "dram::controller",
+                                "row_misses",
+                                due,
+                                at,
+                                d.row_misses as f64,
+                            );
+                            tel.counter(
+                                "dram::controller",
+                                "queue_depth",
+                                due,
+                                at,
+                                mc.queue_len() as f64,
+                            );
+                        }
+                    }
                 }
                 Edge::Channel(now) => {
                     clock_audit.on_clock_edge(ClockDomain::Channel, now);
                     last_time = now;
                     mc.tick(now);
                     for comp in mc.pop_completed(now) {
+                        if !comp.row_hit {
+                            // Stamped with the last completed compute cycle:
+                            // channel edges have no compute-cycle identity.
+                            tel.event(
+                                "dram::controller",
+                                "row_conflict",
+                                cycle,
+                                now,
+                                (comp.addr / row_bytes) as f64,
+                            );
+                        }
                         if comp.tag >= TAG_BYPASS {
                             let corelet = ((comp.addr % row_bytes) / slab_bytes) as usize;
                             let row = comp.addr / row_bytes;
@@ -276,6 +372,7 @@ mod run_impl {
             elapsed_ps: last_time,
             output,
             output_ok,
+            telemetry: tel,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use millipede_dram::DramStats;
 use millipede_engine::{CoreStats, TimePs};
+use millipede_telemetry::Telemetry;
 use millipede_workloads::Reduced;
 
 /// The outcome of simulating one workload on one processor node.
@@ -22,6 +23,10 @@ pub struct NodeResult {
     /// Whether `output` matched the workload's golden reference — a full
     /// end-to-end functional check of the timing simulation.
     pub output_ok: bool,
+    /// Recorded telemetry (an empty no-op sink unless the run's
+    /// [`millipede_telemetry::TelemetryConfig`] enabled it). Excluded from
+    /// determinism digests exactly like `ff_skipped_cycles`.
+    pub telemetry: Telemetry,
 }
 
 impl NodeResult {
@@ -52,6 +57,7 @@ mod tests {
             elapsed_ps,
             output: Reduced::Ints(vec![]),
             output_ok: true,
+            telemetry: Telemetry::off(),
         }
     }
 

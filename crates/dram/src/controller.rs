@@ -157,6 +157,11 @@ impl MemoryController {
         self.capacity - self.queue.len()
     }
 
+    /// Requests currently queued (the depth the telemetry layer samples).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Whether the controller has no queued work and no pending completions.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.completed.is_empty()

@@ -1,6 +1,7 @@
 //! SM configuration.
 
 use millipede_dram::{DramGeometry, DramTiming};
+use millipede_telemetry::TelemetryConfig;
 
 /// Configuration of one SM (Table III defaults).
 #[derive(Debug, Clone)]
@@ -46,6 +47,8 @@ pub struct GpgpuConfig {
     /// Idle-cycle fast-forward (bit-exact; see DESIGN.md). Off reproduces
     /// the cycle-by-cycle schedule for differential testing.
     pub fast_forward: bool,
+    /// Cycle-domain telemetry (off by default; purely observational).
+    pub telemetry: TelemetryConfig,
 }
 
 impl GpgpuConfig {
@@ -70,6 +73,7 @@ impl GpgpuConfig {
             dram_queue: 16,
             max_idle_cycles: 2_000_000,
             fast_forward: true,
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 

@@ -38,6 +38,7 @@ use millipede_engine::{
 use millipede_isa::{AddrSpace, Instr, ReconvergenceMap};
 use millipede_mapreduce::ThreadGrid;
 use millipede_mem::{coalesce_blocks, Cache, Mshr, SharedMemoryBanks};
+use millipede_telemetry::Telemetry;
 use millipede_workloads::Workload;
 use warp::Warp;
 
@@ -153,6 +154,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     // stats at the end so fast-forward stays bit-exact.
     let mut ff_l1_hits: u64 = 0;
     let mut ff_l1_misses: u64 = 0;
+    let mut tel = Telemetry::new(&cfg.telemetry);
 
     // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
     // every observable compute-edge mutation either bumps one of these
@@ -218,6 +220,12 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                     idle_streak <= cfg.max_idle_cycles,
                     "GPGPU deadlock: no issue for {idle_streak} cycles"
                 );
+                let pre_ff_cycle = cycle;
+                // Per-retry-edge recount rates of this edge, replayed over a
+                // fast-forwarded skip and rewound by telemetry sampling.
+                let stall_delta = stats.demand_stalls - stalls_before;
+                let hit_delta = sm.l1.stats().hits - hits_before;
+                let miss_delta = sm.l1.stats().misses - misses_before;
                 if cfg.fast_forward
                     && !any_issued
                     && sm.lsu_busy_until <= cycle
@@ -226,9 +234,9 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                 {
                     if let Some(event) = mc.next_event_at() {
                         let skipped = clock.fast_forward(event);
-                        stats.demand_stalls += (stats.demand_stalls - stalls_before) * skipped;
-                        ff_l1_hits += (sm.l1.stats().hits - hits_before) * skipped;
-                        ff_l1_misses += (sm.l1.stats().misses - misses_before) * skipped;
+                        stats.demand_stalls += stall_delta * skipped;
+                        ff_l1_hits += hit_delta * skipped;
+                        ff_l1_misses += miss_delta * skipped;
                         cycle += skipped;
                         stats.ff_skipped_cycles += skipped;
                         stats.issue_slots += skipped * cfg.clusters() as u64;
@@ -240,11 +248,91 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                         );
                     }
                 }
+                // Telemetry epoch sampling (observational only). Boundaries
+                // inside a fast-forwarded region are reconstructed exactly
+                // by rewinding the replayed per-cycle counters linearly.
+                if tel.enabled() {
+                    let period = clock.compute_period();
+                    let slots_per_cycle = cfg.clusters() as u64;
+                    while let Some(due) = tel.next_due(cycle) {
+                        let at = now + (due - pre_ff_cycle) * period;
+                        let rewind = cycle - due;
+                        let d = mc.stats();
+                        tel.counter(
+                            "gpgpu::sm",
+                            "l1_hits",
+                            due,
+                            at,
+                            (sm.l1.stats().hits + ff_l1_hits - hit_delta * rewind) as f64,
+                        );
+                        tel.counter(
+                            "gpgpu::sm",
+                            "l1_misses",
+                            due,
+                            at,
+                            (sm.l1.stats().misses + ff_l1_misses - miss_delta * rewind) as f64,
+                        );
+                        tel.counter(
+                            "gpgpu::sm",
+                            "demand_stalls",
+                            due,
+                            at,
+                            (stats.demand_stalls - stall_delta * rewind) as f64,
+                        );
+                        tel.counter(
+                            "gpgpu::sm",
+                            "issue_slots",
+                            due,
+                            at,
+                            (stats.issue_slots - rewind * slots_per_cycle) as f64,
+                        );
+                        tel.counter(
+                            "gpgpu::sm",
+                            "stall_slots",
+                            due,
+                            at,
+                            (stats.stall_slots - rewind * slots_per_cycle) as f64,
+                        );
+                        if let Some(pbuf) = pbuf.as_ref() {
+                            tel.counter(
+                                "gpgpu::pbuf",
+                                "occupancy",
+                                due,
+                                at,
+                                pbuf.occupancy() as f64,
+                            );
+                        }
+                        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
+                        tel.counter(
+                            "dram::controller",
+                            "row_misses",
+                            due,
+                            at,
+                            d.row_misses as f64,
+                        );
+                        tel.counter(
+                            "dram::controller",
+                            "queue_depth",
+                            due,
+                            at,
+                            mc.queue_len() as f64,
+                        );
+                    }
+                }
             }
             Edge::Channel(now) => {
                 last_time = now;
                 mc.tick(now);
                 for comp in mc.pop_completed(now) {
+                    if !comp.row_hit {
+                        tel.event(
+                            "dram::controller",
+                            "row_conflict",
+                            cycle,
+                            now,
+                            (comp.addr / row_bytes) as f64,
+                        );
+                    }
                     if comp.tag >= TAG_BLOCK_FILL {
                         sm.l1.fill(comp.addr);
                         for waiter in sm.mshr.complete(comp.addr) {
@@ -286,6 +374,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
         elapsed_ps: last_time,
         output,
         output_ok,
+        telemetry: tel,
     }
 }
 

@@ -23,6 +23,7 @@ use millipede_core::NodeResult;
 use millipede_dram::DramStats;
 use millipede_engine::{run_functional, CoreStats, FuncStats, DEFAULT_STEP_LIMIT};
 use millipede_mapreduce::ThreadGrid;
+use millipede_telemetry::{Telemetry, TelemetryConfig};
 use millipede_workloads::Workload;
 
 /// Configuration of the Xeon-like reference machine (§VI-C defaults).
@@ -46,6 +47,9 @@ pub struct MulticoreConfig {
     pub mem_bw_gbps: f64,
     /// Off-chip access energy in pJ/bit (paper: 70 pJ/bit \[44\]).
     pub mem_pj_per_bit: f64,
+    /// Cycle-domain telemetry (off by default). The analytic model has no
+    /// cycle loop, so only coarse start/end samples are recorded.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for MulticoreConfig {
@@ -59,6 +63,7 @@ impl Default for MulticoreConfig {
             // 32 die-stacked channels × 4.8 GB/s ÷ 4.
             mem_bw_gbps: 32.0 * 4.8 / 4.0,
             mem_pj_per_bit: 70.0,
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }
@@ -131,13 +136,38 @@ pub fn run(workload: &Workload, cfg: &MulticoreConfig) -> NodeResult {
         requests: bytes / 64,
         ..Default::default()
     };
+    // audit:allow(cast-truncation): sub-picosecond truncation of an analytic runtime
+    let elapsed_ps = (elapsed_ns * 1000.0) as u64;
+    // Coarse telemetry: the analytic model has no cycle loop, so the
+    // series are just their start/end points (still enough to give the
+    // run a labelled span in a combined Chrome trace).
+    let mut tel = Telemetry::new(&cfg.telemetry);
+    if tel.enabled() {
+        let end_cycle = stats.compute_cycles;
+        tel.counter("multicore::core", "instructions", 0, 0, 0.0);
+        tel.counter(
+            "multicore::core",
+            "instructions",
+            end_cycle,
+            elapsed_ps,
+            stats.instructions as f64,
+        );
+        tel.counter("multicore::dram", "bytes_transferred", 0, 0, 0.0);
+        tel.counter(
+            "multicore::dram",
+            "bytes_transferred",
+            end_cycle,
+            elapsed_ps,
+            dram.bytes_transferred as f64,
+        );
+    }
     NodeResult {
         stats,
         dram,
-        // audit:allow(cast-truncation): sub-picosecond truncation of an analytic runtime
-        elapsed_ps: (elapsed_ns * 1000.0) as u64,
+        elapsed_ps,
         output,
         output_ok,
+        telemetry: tel,
     }
 }
 

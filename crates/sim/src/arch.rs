@@ -104,6 +104,7 @@ impl Arch {
                 c.geometry = cfg.geometry();
                 c.timing = cfg.timing();
                 c.fast_forward = cfg.fast_forward;
+                c.telemetry = cfg.telemetry.clone();
                 millipede_gpgpu::run(workload, &c)
             }
             Arch::Ssmc => {
@@ -114,6 +115,7 @@ impl Arch {
                     geometry: cfg.geometry(),
                     timing: cfg.timing(),
                     fast_forward: cfg.fast_forward,
+                    telemetry: cfg.telemetry.clone(),
                     ..SsmcConfig::default()
                 };
                 millipede_ssmc::run(workload, &c)
@@ -130,9 +132,16 @@ impl Arch {
                 c.geometry = cfg.geometry();
                 c.timing = cfg.timing();
                 c.fast_forward = cfg.fast_forward;
+                c.telemetry = cfg.telemetry.clone();
                 millipede_core::run(workload, &c)
             }
-            Arch::Multicore => millipede_multicore::run(workload, &MulticoreConfig::default()),
+            Arch::Multicore => {
+                let c = MulticoreConfig {
+                    telemetry: cfg.telemetry.clone(),
+                    ..MulticoreConfig::default()
+                };
+                millipede_multicore::run(workload, &c)
+            }
         }
     }
 }

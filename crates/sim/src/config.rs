@@ -2,6 +2,7 @@
 
 use millipede_dram::{DramGeometry, DramTiming};
 use millipede_energy::EnergyParams;
+use millipede_telemetry::TelemetryConfig;
 
 /// Parameters of one simulated comparison point.
 ///
@@ -35,6 +36,10 @@ pub struct SimConfig {
     /// (unset or anything but `0` → on), so CI can difference the two
     /// schedules without code changes.
     pub fast_forward: bool,
+    /// Cycle-domain telemetry for every model (off by default; defaults
+    /// from `MILLIPEDE_TELEMETRY`, unset or `0` → off). Observational
+    /// only: determinism digests are bit-identical on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -49,6 +54,7 @@ impl Default for SimConfig {
             pbuf_entries: 16,
             energy: EnergyParams::default(),
             fast_forward: fast_forward_from_env(),
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }

@@ -31,5 +31,8 @@ pub mod system;
 pub use arch::Arch;
 pub use config::{fast_forward_from_env, SimConfig};
 pub use determinism::{check_determinism, digest_run, Divergence, Fnv1a};
-pub use runner::{run_grid, run_many, run_many_with, run_one, sweep_threads, RunResult};
+pub use millipede_telemetry::{Telemetry, TelemetryConfig};
+pub use runner::{
+    run_grid, run_many, run_many_with, run_one, sweep_progress_from_env, sweep_threads, RunResult,
+};
 pub use system::{run_system, SystemResult};

@@ -129,6 +129,71 @@ pub fn profile(results: &[&RunResult]) -> String {
     format!("{}total wall: {:.1} ms\n", t.render(), wall_total)
 }
 
+/// The `arch/bench` label identifying one run in telemetry output.
+fn run_label(r: &RunResult) -> String {
+    format!("{}/{}", r.arch.label(), r.bench.name())
+}
+
+/// Renders a compact per-run telemetry summary (series, samples, events,
+/// drops) in the same stderr-table style as [`profile`]. Runs whose
+/// telemetry sink was disabled are skipped; the result is empty if none
+/// recorded anything.
+pub fn telemetry_summary(results: &[&RunResult]) -> String {
+    let mut t = Table::new(vec![
+        "arch", "bench", "series", "samples", "events", "dropped",
+    ]);
+    for r in results {
+        let tel = &r.node.telemetry;
+        if !tel.enabled() {
+            continue;
+        }
+        t.row(vec![
+            r.arch.label().to_string(),
+            r.bench.name().to_string(),
+            tel.series_len().to_string(),
+            tel.total_samples().to_string(),
+            tel.events().len().to_string(),
+            tel.dropped_events().to_string(),
+        ]);
+    }
+    if t.is_empty() {
+        String::new()
+    } else {
+        t.render()
+    }
+}
+
+/// Builds one combined Chrome-trace/Perfetto JSON document for the runs'
+/// telemetry, one trace process per run labelled `arch/bench`. Loads
+/// directly in `chrome://tracing` or the Perfetto UI.
+pub fn chrome_trace(results: &[&RunResult]) -> String {
+    let labels: Vec<String> = results.iter().map(|r| run_label(r)).collect();
+    let runs: Vec<(&str, &millipede_telemetry::Telemetry)> = labels
+        .iter()
+        .zip(results)
+        .map(|(l, r)| (l.as_str(), &r.node.telemetry))
+        .collect();
+    millipede_telemetry::export::chrome_trace(&runs)
+}
+
+/// Renders every run's sampled series as one CSV:
+/// `arch,bench,track,name,cycle,time_ps,value`.
+pub fn telemetry_csv(results: &[&RunResult]) -> String {
+    let mut out = String::from("arch,bench,track,name,cycle,time_ps,value\n");
+    for r in results {
+        let (arch, bench) = (r.arch.label(), r.bench.name());
+        for (track, name, samples) in r.node.telemetry.series_iter() {
+            for s in samples {
+                out.push_str(&format!(
+                    "{arch},{bench},{track},{name},{},{},{}\n",
+                    s.cycle, s.time_ps, s.value
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,33 @@ pub fn run_one(arch: Arch, bench: Benchmark, cfg: &SimConfig) -> RunResult {
     }
 }
 
+/// Whether sweeps emit a per-point progress line to stderr: set
+/// `MILLIPEDE_SWEEP_PROGRESS` to anything but `0`. Off by default so
+/// harness output stays quiet.
+pub fn sweep_progress_from_env() -> bool {
+    std::env::var("MILLIPEDE_SWEEP_PROGRESS").is_ok_and(|v| v != "0")
+}
+
+/// Emits one whole, pre-formatted progress line for a finished point.
+///
+/// The line is built first and written with a single `writeln!` on a
+/// locked stderr handle, so concurrent sweep workers can never interleave
+/// mid-row — each point appears as one intact line, in completion order.
+fn progress_line(idx: usize, total: usize, r: &RunResult) {
+    use std::io::Write as _;
+    let line = format!(
+        "[{}/{}] {} {} {:.1} ms",
+        idx + 1,
+        total,
+        r.arch.label(),
+        r.bench.name(),
+        r.wall.as_secs_f64() * 1e3
+    );
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = writeln!(handle, "{line}");
+}
+
 /// Sweep worker count: `MILLIPEDE_SWEEP_THREADS` if set (minimum 1),
 /// otherwise the host's available parallelism.
 pub fn sweep_threads() -> usize {
@@ -107,10 +134,18 @@ pub fn run_many_with(
     cfg: &SimConfig,
     threads: usize,
 ) -> Vec<RunResult> {
+    let progress = sweep_progress_from_env();
     if threads <= 1 || pairs.len() <= 1 {
         return pairs
             .iter()
-            .map(|&(arch, bench)| run_one(arch, bench, cfg))
+            .enumerate()
+            .map(|(idx, &(arch, bench))| {
+                let r = run_one(arch, bench, cfg);
+                if progress {
+                    progress_line(idx, pairs.len(), &r);
+                }
+                r
+            })
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -123,6 +158,9 @@ pub fn run_many_with(
                     break;
                 };
                 let result = run_one(arch, bench, cfg);
+                if progress {
+                    progress_line(idx, pairs.len(), &result);
+                }
                 slots
                     .lock()
                     .expect("sweep result mutex poisoned")

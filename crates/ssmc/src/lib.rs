@@ -32,6 +32,7 @@ use millipede_engine::{
 use millipede_isa::AddrSpace;
 use millipede_mapreduce::ThreadGrid;
 use millipede_mem::{Cache, Mshr};
+use millipede_telemetry::{Telemetry, TelemetryConfig};
 use millipede_workloads::Workload;
 
 /// Configuration of one SSMC processor (Table III defaults).
@@ -67,6 +68,8 @@ pub struct SsmcConfig {
     /// Idle-cycle fast-forward (bit-exact; see DESIGN.md). Off reproduces
     /// the cycle-by-cycle schedule for differential testing.
     pub fast_forward: bool,
+    /// Cycle-domain telemetry (off by default; purely observational).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SsmcConfig {
@@ -85,6 +88,7 @@ impl Default for SsmcConfig {
             dram_queue: 16,
             max_idle_cycles: 2_000_000,
             fast_forward: true,
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }
@@ -200,6 +204,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
     // re-probe their missing block every cycle); folded into
     // `stats.l1_misses` at the end so fast-forward stays bit-exact.
     let mut ff_l1_misses: u64 = 0;
+    let mut tel = Telemetry::new(&cfg.telemetry);
 
     // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
     // every observable compute-edge mutation either bumps one of these
@@ -248,6 +253,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                     idle_streak <= cfg.max_idle_cycles,
                     "SSMC deadlock: no issue for {idle_streak} cycles"
                 );
+                let pre_ff_cycle = cycle;
                 if cfg.fast_forward && !any_issued && fingerprint(&stats, &cores) == fp_before {
                     if let Some(event) = mc.next_event_at() {
                         let skipped = clock.fast_forward(event);
@@ -263,11 +269,75 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                         );
                     }
                 }
+                // Telemetry epoch sampling (observational only). Boundaries
+                // inside a fast-forwarded region are reconstructed exactly:
+                // skipped edges are proven no-ops, so only the replayed
+                // per-cycle counters (slots, L1 miss recounting) are rewound
+                // linearly to the boundary.
+                if tel.enabled() {
+                    let period = clock.compute_period();
+                    let miss_delta = l1_misses(&cores) - misses_before;
+                    let slots_per_cycle = cfg.cores as u64;
+                    while let Some(due) = tel.next_due(cycle) {
+                        let at = now + (due - pre_ff_cycle) * period;
+                        let rewind = cycle - due;
+                        let hits: u64 = cores.iter().map(|c| c.l1.stats().hits).sum();
+                        let misses = l1_misses(&cores) + ff_l1_misses - miss_delta * rewind;
+                        let d = mc.stats();
+                        tel.counter("ssmc::l1", "hits", due, at, hits as f64);
+                        tel.counter("ssmc::l1", "misses", due, at, misses as f64);
+                        tel.counter(
+                            "ssmc::core",
+                            "issue_slots",
+                            due,
+                            at,
+                            (stats.issue_slots - rewind * slots_per_cycle) as f64,
+                        );
+                        tel.counter(
+                            "ssmc::core",
+                            "stall_slots",
+                            due,
+                            at,
+                            (stats.stall_slots - rewind * slots_per_cycle) as f64,
+                        );
+                        tel.counter(
+                            "ssmc::core",
+                            "demand_stalls",
+                            due,
+                            at,
+                            stats.demand_stalls as f64,
+                        );
+                        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
+                        tel.counter(
+                            "dram::controller",
+                            "row_misses",
+                            due,
+                            at,
+                            d.row_misses as f64,
+                        );
+                        tel.counter(
+                            "dram::controller",
+                            "queue_depth",
+                            due,
+                            at,
+                            mc.queue_len() as f64,
+                        );
+                    }
+                }
             }
             Edge::Channel(now) => {
                 last_time = now;
                 mc.tick(now);
                 for comp in mc.pop_completed(now) {
+                    if !comp.row_hit {
+                        tel.event(
+                            "dram::controller",
+                            "row_conflict",
+                            cycle,
+                            now,
+                            (comp.addr / row_bytes) as f64,
+                        );
+                    }
                     let core = &mut cores[comp.tag as usize];
                     let block = comp.addr;
                     core.l1.fill(block);
@@ -296,6 +366,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         elapsed_ps: last_time,
         output,
         output_ok,
+        telemetry: tel,
     }
 }
 

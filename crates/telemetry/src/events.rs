@@ -1,0 +1,99 @@
+//! Cycle-stamped discrete-event trace with a bounded ring buffer.
+//!
+//! Discrete events (row-buffer conflicts, frequency steps, flow-control
+//! blocks) can vastly outnumber epoch samples, so the trace is bounded:
+//! the buffer is allocated once at construction and, when full, further
+//! events bump a drop counter instead of reallocating. Dropping the *tail*
+//! keeps the earliest events — the startup transient the paper's dynamic
+//! mechanisms are about — and keeps the retained set independent of
+//! anything but the (deterministic) recording order.
+
+/// One discrete event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Domain track, e.g. `"dram::controller"`.
+    pub track: &'static str,
+    /// Event name, e.g. `"row_conflict"`.
+    pub name: &'static str,
+    /// Compute cycle the event occurred on.
+    pub cycle: u64,
+    /// Simulated time in picoseconds.
+    pub time_ps: u64,
+    /// Event payload (row index, new frequency in MHz, ...).
+    pub value: f64,
+}
+
+/// Bounded event buffer: capacity fixed at construction, overflow counted.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring with the full backing store allocated up front.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "event capacity must be positive");
+        EventRing {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, or counts it as dropped once the buffer is full.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> Event {
+        Event {
+            track: "t",
+            name: "n",
+            cycle,
+            time_ps: cycle * 1429,
+            value: 1.0,
+        }
+    }
+
+    #[test]
+    fn overflow_drops_instead_of_reallocating() {
+        let mut r = EventRing::new(4);
+        let backing = r.events.capacity();
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.events().len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // The backing store never grew: overflow is counted, not stored.
+        assert_eq!(r.events.capacity(), backing);
+        // The earliest events are the ones retained.
+        assert_eq!(r.events()[0].cycle, 0);
+        assert_eq!(r.events()[3].cycle, 3);
+    }
+}

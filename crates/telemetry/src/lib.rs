@@ -1,0 +1,263 @@
+//! Cycle-domain telemetry for the Millipede simulators.
+//!
+//! This crate provides three pieces, all purely observational:
+//!
+//! 1. **Time-series sampling** ([`series`]): every series is sampled once
+//!    per configurable *epoch* of compute cycles, stamped with the compute
+//!    cycle and the simulated picosecond time of that cycle's edge.
+//! 2. **Event tracing** ([`events`]): discrete events (row-buffer
+//!    conflicts, frequency steps, flow-control blocks) go into a bounded
+//!    ring buffer that counts drops instead of reallocating.
+//! 3. **Exporters** ([`export`]): CSV and Chrome-trace/Perfetto JSON.
+//!
+//! The [`Telemetry`] facade is the single handle a model threads through
+//! its run loop. Constructed disabled ([`Telemetry::off`]) it is a no-op
+//! sink — a `None` checked per call, no allocation — so instrumentation
+//! costs nothing when telemetry is off (the default).
+//!
+//! Determinism rules, enforced by tests and the repo lint pass:
+//!
+//! - every timestamp is *simulated* (cycle count or picoseconds derived
+//!   from the dual-clock); wall-clock sources (`Instant`, `SystemTime`)
+//!   are forbidden in this crate;
+//! - read-out order is fixed by `(track, name)` key order, never by
+//!   allocation or hash order;
+//! - telemetry is excluded from determinism digests exactly like
+//!   `ff_skipped_cycles`: digests are bit-identical with telemetry on or
+//!   off, including under fast-forward, where epoch samples that fall
+//!   inside a skipped region are reconstructed from the replicated
+//!   counters ([`Telemetry::next_due`] drives that catch-up).
+
+pub mod config;
+pub mod events;
+pub mod export;
+pub mod series;
+
+pub use config::TelemetryConfig;
+pub use events::Event;
+pub use series::Sample;
+
+use events::EventRing;
+use series::SeriesSet;
+
+/// Live recorder state, boxed so a disabled [`Telemetry`] is pointer-sized.
+#[derive(Debug, Clone)]
+struct Recorder {
+    /// Sampling epoch in compute cycles.
+    epoch: u64,
+    /// Next epoch boundary (in compute cycles) that has not been sampled.
+    next_due: u64,
+    series: SeriesSet,
+    events: EventRing,
+}
+
+/// Telemetry handle for one simulated run.
+///
+/// Disabled, it drops everything; enabled, it records series samples and
+/// discrete events. Either way it never influences simulated behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    rec: Option<Box<Recorder>>,
+}
+
+impl Telemetry {
+    /// A disabled, allocation-free sink.
+    pub fn off() -> Telemetry {
+        Telemetry { rec: None }
+    }
+
+    /// Builds a sink from the configuration: a live recorder when
+    /// `cfg.enabled`, otherwise the same no-op as [`Telemetry::off`].
+    pub fn new(cfg: &TelemetryConfig) -> Telemetry {
+        if !cfg.enabled {
+            return Telemetry::off();
+        }
+        assert!(cfg.epoch_cycles > 0, "sampling epoch must be positive");
+        Telemetry {
+            rec: Some(Box::new(Recorder {
+                epoch: cfg.epoch_cycles,
+                next_due: cfg.epoch_cycles,
+                series: SeriesSet::default(),
+                events: EventRing::new(cfg.event_capacity),
+            })),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// The sampling epoch in compute cycles (`None` when disabled).
+    pub fn epoch(&self) -> Option<u64> {
+        self.rec.as_ref().map(|r| r.epoch)
+    }
+
+    /// Returns the next epoch boundary at or below `cycle` that has not
+    /// been sampled yet, and advances past it.
+    ///
+    /// Drives both steady-state sampling (where it yields at most one
+    /// boundary per call) and post-fast-forward catch-up (where a skipped
+    /// region covers several boundaries and the caller loops, rewinding
+    /// replicated counters to reconstruct each boundary's value):
+    ///
+    /// ```text
+    /// while let Some(due) = tel.next_due(cycle) { /* sample at `due` */ }
+    /// ```
+    ///
+    /// Returns `None` when disabled, so instrumented loops cost one branch
+    /// per cycle with telemetry off.
+    pub fn next_due(&mut self, cycle: u64) -> Option<u64> {
+        let r = self.rec.as_deref_mut()?;
+        if cycle < r.next_due {
+            return None;
+        }
+        let due = r.next_due;
+        r.next_due += r.epoch;
+        due.into()
+    }
+
+    /// Records one sample of the `(track, name)` series.
+    pub fn counter(
+        &mut self,
+        track: &'static str,
+        name: &'static str,
+        cycle: u64,
+        time_ps: u64,
+        value: f64,
+    ) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.series.push(
+                track,
+                name,
+                Sample {
+                    cycle,
+                    time_ps,
+                    value,
+                },
+            );
+        }
+    }
+
+    /// Records one discrete event.
+    pub fn event(
+        &mut self,
+        track: &'static str,
+        name: &'static str,
+        cycle: u64,
+        time_ps: u64,
+        value: f64,
+    ) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.events.push(Event {
+                track,
+                name,
+                cycle,
+                time_ps,
+                value,
+            });
+        }
+    }
+
+    /// The samples of one series, empty if disabled or never recorded.
+    pub fn samples<'s>(&'s self, track: &str, name: &str) -> &'s [Sample] {
+        self.rec
+            .as_deref()
+            .map_or(&[], |r| r.series.samples(track, name))
+    }
+
+    /// Iterates every recorded series in `(track, name)` order.
+    pub fn series_iter(&self) -> impl Iterator<Item = (&'static str, &'static str, &[Sample])> {
+        self.rec
+            .as_deref()
+            .map(|r| r.series.iter())
+            .into_iter()
+            .flatten()
+    }
+
+    /// Number of distinct recorded series.
+    pub fn series_len(&self) -> usize {
+        self.rec.as_deref().map_or(0, |r| r.series.len())
+    }
+
+    /// Total samples across every series.
+    pub fn total_samples(&self) -> u64 {
+        self.rec.as_deref().map_or(0, |r| r.series.total_samples())
+    }
+
+    /// The retained events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        self.rec.as_deref().map_or(&[], |r| r.events.events())
+    }
+
+    /// Events discarded after the ring buffer filled.
+    pub fn dropped_events(&self) -> u64 {
+        self.rec.as_deref().map_or(0, |r| r.events.dropped())
+    }
+
+    /// The event ring-buffer capacity (`None` when disabled).
+    pub fn event_capacity(&self) -> Option<usize> {
+        self.rec.as_deref().map(|r| r.events.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let mut t = Telemetry::off();
+        assert!(!t.enabled());
+        assert_eq!(t.next_due(1_000_000), None);
+        t.counter("a", "b", 1, 1, 1.0);
+        t.event("a", "b", 1, 1, 1.0);
+        assert_eq!(t.total_samples(), 0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.epoch(), None);
+        assert_eq!(t.event_capacity(), None);
+    }
+
+    #[test]
+    fn disabled_config_yields_off_sink() {
+        let t = Telemetry::new(&TelemetryConfig::default());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn next_due_yields_each_epoch_boundary_once() {
+        let mut t = Telemetry::new(&TelemetryConfig::enabled_with_epoch(4));
+        assert_eq!(t.next_due(3), None);
+        assert_eq!(t.next_due(4), Some(4));
+        assert_eq!(t.next_due(4), None);
+        assert_eq!(t.next_due(7), None);
+        assert_eq!(t.next_due(8), Some(8));
+        assert_eq!(t.next_due(8), None);
+    }
+
+    #[test]
+    fn next_due_catches_up_over_a_skipped_region() {
+        let mut t = Telemetry::new(&TelemetryConfig::enabled_with_epoch(4));
+        // A fast-forward jumped from cycle 1 to cycle 14: boundaries 4, 8
+        // and 12 all fall inside the skipped region.
+        let mut due = Vec::new();
+        while let Some(d) = t.next_due(14) {
+            due.push(d);
+        }
+        assert_eq!(due, vec![4, 8, 12]);
+        assert_eq!(t.next_due(15), None);
+        assert_eq!(t.next_due(16), Some(16));
+    }
+
+    #[test]
+    fn sample_count_matches_cycles_over_epoch() {
+        let mut t = Telemetry::new(&TelemetryConfig::enabled_with_epoch(8));
+        for cycle in 1..=100 {
+            while let Some(due) = t.next_due(cycle) {
+                t.counter("core", "x", due, due * 1429, due as f64);
+            }
+        }
+        assert_eq!(t.total_samples(), 100 / 8);
+        assert_eq!(t.samples("core", "x").len(), 12);
+    }
+}

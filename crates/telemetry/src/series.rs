@@ -1,0 +1,101 @@
+//! Epoch-sampled time series.
+//!
+//! Each series is identified by a `(track, name)` pair of static strings
+//! (e.g. `("core::pbuf", "occupancy")`) and holds cycle-stamped samples in
+//! recording order. Series are kept in a `BTreeMap` so every read-out —
+//! CSV, Chrome trace, summaries — iterates in the same `(track, name)`
+//! order regardless of the order the model registered them, removing any
+//! allocation-order dependence from the output.
+
+use std::collections::BTreeMap;
+
+/// One sample of a counter series at a compute-cycle epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Compute cycle the sample describes.
+    pub cycle: u64,
+    /// Simulated time of that cycle's compute edge, in picoseconds.
+    pub time_ps: u64,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// All recorded series of one run, keyed by `(track, name)`.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSet {
+    series: BTreeMap<(&'static str, &'static str), Vec<Sample>>,
+}
+
+impl SeriesSet {
+    /// Appends a sample to the `(track, name)` series.
+    pub fn push(&mut self, track: &'static str, name: &'static str, sample: Sample) {
+        self.series.entry((track, name)).or_default().push(sample);
+    }
+
+    /// The samples of one series, empty if never recorded.
+    pub fn samples<'s>(&'s self, track: &str, name: &str) -> &'s [Sample] {
+        self.series
+            .iter()
+            .find(|(&(t, n), _)| t == track && n == name)
+            .map_or(&[], |(_, v)| v.as_slice())
+    }
+
+    /// Iterates every series in `(track, name)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &'static str, &[Sample])> {
+        self.series
+            .iter()
+            .map(|(&(track, name), samples)| (track, name, samples.as_slice()))
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Total samples across every series.
+    pub fn total_samples(&self) -> u64 {
+        self.series.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = SeriesSet::default();
+        s.push(
+            "core::pbuf",
+            "occupancy",
+            Sample {
+                cycle: 1024,
+                time_ps: 1_463_296,
+                value: 5.0,
+            },
+        );
+        assert_eq!(s.samples("core::pbuf", "occupancy").len(), 1);
+        assert!(s.samples("core::pbuf", "missing").is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_samples(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_key_order_not_insertion_order() {
+        let mut s = SeriesSet::default();
+        let sample = Sample {
+            cycle: 0,
+            time_ps: 0,
+            value: 0.0,
+        };
+        s.push("z", "late", sample);
+        s.push("a", "early", sample);
+        let keys: Vec<(&str, &str)> = s.iter().map(|(t, n, _)| (t, n)).collect();
+        assert_eq!(keys, vec![("a", "early"), ("z", "late")]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Telemetry: run one Millipede benchmark with cycle-domain tracing on and
+//! export the results for offline inspection.
+//!
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! Writes two files to the current directory:
+//!
+//! - `trace.json` — a Chrome-trace/Perfetto document (open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>) with counter tracks
+//!   for prefetch-buffer occupancy, the rate-matched clock, and DRAM row
+//!   hits/misses, plus instant events for row-buffer conflicts, frequency
+//!   steps, and flow-control blocks.
+//! - `occupancy.csv` — just the `core::pbuf/occupancy` series as
+//!   `cycle,time_ps,value` rows, ready for a plotting script.
+//!
+//! Telemetry is observational: determinism digests are bit-identical with
+//! it on or off, so tracing a run never changes what the run computes.
+
+use millipede::sim::{run_one, Arch, SimConfig, TelemetryConfig};
+use millipede::workloads::Benchmark;
+
+fn main() {
+    // Sample every series once per 256 compute cycles — fine enough to see
+    // the DFS convergence transient at the start of the run.
+    let cfg = SimConfig {
+        num_chunks: 16,
+        telemetry: TelemetryConfig::enabled_with_epoch(256),
+        ..SimConfig::default()
+    };
+    let r = run_one(Arch::Millipede, Benchmark::Count, &cfg);
+    let tel = &r.node.telemetry;
+
+    println!(
+        "ran {} on {}: {} series, {} samples, {} events ({} dropped)",
+        r.bench.name(),
+        r.arch.label(),
+        tel.series_len(),
+        tel.total_samples(),
+        tel.events().len(),
+        tel.dropped_events(),
+    );
+
+    let trace = millipede::sim::report::chrome_trace(&[&r]);
+    std::fs::write("trace.json", trace).expect("write trace.json");
+    println!("wrote trace.json (load it in chrome://tracing or ui.perfetto.dev)");
+
+    let mut csv = String::from("cycle,time_ps,value\n");
+    for s in tel.samples("core::pbuf", "occupancy") {
+        csv.push_str(&format!("{},{},{}\n", s.cycle, s.time_ps, s.value));
+    }
+    std::fs::write("occupancy.csv", csv).expect("write occupancy.csv");
+    println!("wrote occupancy.csv (prefetch-buffer occupancy per epoch)");
+
+    // A taste of what the trace contains, straight from the API.
+    let occ = tel.samples("core::pbuf", "occupancy");
+    let mhz = tel.samples("core::rate", "frequency_mhz");
+    if let (Some(first), Some(last)) = (mhz.first(), mhz.last()) {
+        println!(
+            "rate-matched clock: {:.0} MHz at cycle {} -> {:.0} MHz at cycle {}",
+            first.value, first.cycle, last.value, last.cycle
+        );
+    }
+    if let Some(peak) = occ.iter().map(|s| s.value as u64).max() {
+        println!("peak sampled prefetch-buffer occupancy: {peak} rows");
+    }
+}
