@@ -60,4 +60,46 @@ print(f"trace OK: {len(events)} events")
 EOF
 fi
 
+echo "==> kernel verifier (millipede-cli verify)"
+# The static verifier must hold its acceptance bar: all eight compiled-in
+# kernels clean, and every seeded-bug fixture rejected with the exact code
+# its `# verify-expect:` header declares. The JSON report must parse.
+verify_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$verify_dir"' EXIT
+./target/release/millipede-cli verify --kernels --json > "$verify_dir/kernels.json"
+# Fixture sweep: the CLI exits 1 when any fixture is dirty — expected here,
+# so capture the report and let the checker below judge it.
+./target/release/millipede-cli verify tests/fixtures/*.asm --json \
+    > "$verify_dir/fixtures.json" || true
+if command -v python3 > /dev/null; then
+    python3 - "$verify_dir/kernels.json" "$verify_dir/fixtures.json" <<'EOF'
+import json, re, sys, glob, os
+
+kernels = json.load(open(sys.argv[1]))
+assert len(kernels) == 8, f"expected 8 kernel reports, got {len(kernels)}"
+for r in kernels:
+    assert r["clean"], f"kernel {r['program']} not clean: {r['diagnostics']}"
+    assert r["suppressed"] == 0, f"kernel {r['program']} needed suppressions"
+
+fixtures = {r["program"]: r for r in json.load(open(sys.argv[2]))}
+expected = {}
+for path in sorted(glob.glob("tests/fixtures/*.asm")):
+    name = os.path.splitext(os.path.basename(path))[0]
+    m = re.search(r"#\s*verify-expect:\s*(\S+)", open(path).read())
+    assert m, f"{path}: missing verify-expect header"
+    expected[name] = m.group(1)
+assert set(expected) == set(fixtures), "fixture/report name mismatch"
+for name, want in expected.items():
+    r = fixtures[name]
+    if want == "clean":
+        assert r["clean"], f"{name}: expected clean, got {r['diagnostics']}"
+    else:
+        codes = {d["code"] for d in r["diagnostics"]}
+        assert want in codes, f"{name}: expected {want}, got {codes or 'clean'}"
+covered = {v for v in expected.values() if v != "clean"}
+assert covered == {f"MV{i:03d}" for i in range(1, 11)}, f"corpus gaps: {covered}"
+print(f"verifier OK: 8 kernels clean, {len(expected)} fixtures as expected")
+EOF
+fi
+
 echo "CI green."

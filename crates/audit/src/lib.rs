@@ -3,9 +3,11 @@
 //! The paper's headline mechanisms — per-entry PFT full/empty bits, DF-counter
 //! flow control (§IV-B/C), hill-climbing rate matching (§IV-F) — are
 //! distributed-protocol state machines where a silent modeling bug produces
-//! plausible-but-wrong speedup numbers. This crate is a zero-dependency lint
-//! pass over every `crates/*/src/**/*.rs` and `src/**/*.rs` file enforcing
-//! the hygiene rules that keep the simulator deterministic and auditable:
+//! plausible-but-wrong speedup numbers. This library is a self-contained,
+//! line-based lint pass over every `crates/*/src/**/*.rs` and `src/**/*.rs`
+//! file enforcing the hygiene rules that keep the simulator deterministic
+//! and auditable (the `millipede-audit` binary additionally sweeps the
+//! compiled-in kernel programs through `millipede-verify`):
 //!
 //! | Lint | Rule |
 //! |------|------|

@@ -1,18 +1,42 @@
 //! `millipede-audit` — the repo-specific lint pass.
 //!
-//! Usage: `cargo run -p millipede-audit [-- --root <workspace-root>]`
+//! Usage: `cargo run -p millipede-audit [-- --root <workspace-root>] [--source-only]`
 //!
 //! Walks every `crates/*/src/**/*.rs` and `src/**/*.rs` file, prints
-//! `file:line: lint: message` diagnostics, and exits non-zero when any
-//! violation is found. See the crate docs for the lint catalogue and the
-//! `// audit:allow(<lint>): <reason>` escape hatch.
+//! `file:line: lint: message` diagnostics, then sweeps the eight compiled-in
+//! BMLA kernel programs through the `millipede-verify` static analyzer
+//! (skipped with `--source-only`). Exits non-zero when any violation or
+//! kernel diagnostic is found. See the crate docs for the lint catalogue and
+//! the `// audit:allow(<lint>): <reason>` escape hatch.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Verifies the eight compiled-in kernels; returns the diagnostic count.
+fn sweep_kernels() -> usize {
+    use millipede_verify::{verify_program, VerifyConfig};
+    use millipede_workloads::{Benchmark, Workload};
+
+    let mut total = 0;
+    for &bench in &Benchmark::ALL {
+        let w = Workload::build(bench, 1, 2048, 1);
+        let config = VerifyConfig {
+            local_bytes: Some(w.live_bytes as u64),
+            ..VerifyConfig::default()
+        };
+        let report = verify_program(&w.program, &config);
+        if !report.is_clean() {
+            println!("{report}");
+        }
+        total += report.diagnostics.len();
+    }
+    total
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let mut root: Option<PathBuf> = None;
+    let mut source_only = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,8 +48,9 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+            "--source-only" => source_only = true,
             "--help" | "-h" => {
-                eprintln!("usage: millipede-audit [--root <workspace-root>]");
+                eprintln!("usage: millipede-audit [--root <workspace-root>] [--source-only]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -53,21 +78,29 @@ fn main() -> ExitCode {
         }
     };
 
-    match millipede_audit::audit_tree(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("millipede-audit: clean");
-            ExitCode::SUCCESS
-        }
+    let source_violations = match millipede_audit::audit_tree(&root) {
         Ok(diags) => {
             for d in &diags {
                 println!("{d}");
             }
-            eprintln!("millipede-audit: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            diags.len()
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    let kernel_diags = if source_only { 0 } else { sweep_kernels() };
+
+    if source_violations == 0 && kernel_diags == 0 {
+        println!("millipede-audit: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "millipede-audit: {source_violations} source violation(s), \
+             {kernel_diags} kernel diagnostic(s)"
+        );
+        ExitCode::FAILURE
     }
 }

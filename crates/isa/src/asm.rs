@@ -173,6 +173,60 @@ enum PendingTarget {
     Named(String),
 }
 
+/// Per-instruction source information captured while assembling.
+///
+/// Static-analysis passes (the `millipede-verify` crate) use the map to
+/// attach 1-based source line numbers to diagnostics and to honour the
+/// per-instruction `# verify:allow(MVxxx): <reason>` escape hatch, which
+/// mirrors the source-lint `audit:allow` convention: an annotation on the
+/// instruction's own line, or on a comment/label-only line immediately
+/// above it, suppresses that diagnostic code for that instruction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// 1-based source line of each PC.
+    lines: Vec<usize>,
+    /// `verify:allow(...)` codes attached to each PC (e.g. `"MV004"`).
+    allows: Vec<Vec<String>>,
+}
+
+impl SourceMap {
+    /// The 1-based source line of the instruction at `pc`, if mapped.
+    pub fn line_of(&self, pc: u32) -> Option<usize> {
+        self.lines.get(pc as usize).copied()
+    }
+
+    /// Whether the instruction at `pc` carries `verify:allow(code)`.
+    pub fn allows(&self, pc: u32, code: &str) -> bool {
+        self.allows
+            .get(pc as usize)
+            .is_some_and(|a| a.iter().any(|c| c == code))
+    }
+
+    /// All `verify:allow` codes attached to the instruction at `pc`.
+    pub fn allowed_codes(&self, pc: u32) -> &[String] {
+        self.allows.get(pc as usize).map_or(&[][..], Vec::as_slice)
+    }
+}
+
+/// Extracts `verify:allow(<code>)` annotations from a raw source line.
+fn verify_allows(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("verify:allow(") {
+        rest = &rest[pos + "verify:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            let code = rest[..end].trim();
+            if !code.is_empty() {
+                out.push(code.to_string());
+            }
+            rest = &rest[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
 /// Assembles source text into a validated [`Program`].
 ///
 /// ```
@@ -185,9 +239,19 @@ enum PendingTarget {
 /// assert_eq!(p.instrs(), q.instrs());
 /// ```
 pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    assemble_with_map(name, source).map(|(p, _)| p)
+}
+
+/// Like [`assemble`], additionally returning the [`SourceMap`] that links
+/// every PC back to its source line and `verify:allow` annotations.
+pub fn assemble_with_map(name: &str, source: &str) -> Result<(Program, SourceMap), AsmError> {
     // Pass 1: collect labels and raw instruction lines.
     let mut labels: BTreeMap<String, u32> = BTreeMap::new();
     let mut lines: Vec<(usize, String)> = Vec::new(); // (source line, text)
+    let mut map = SourceMap::default();
+    // Allow-annotations on comment/label-only lines carry to the next
+    // instruction, mirroring `audit:allow`.
+    let mut pending_allows: Vec<String> = Vec::new();
     let mut pc: u32 = 0;
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -207,9 +271,15 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
             }
             text = rest[1..].trim();
         }
+        let mut line_allows = verify_allows(raw);
         if text.is_empty() {
+            pending_allows.append(&mut line_allows);
             continue;
         }
+        let mut allows = std::mem::take(&mut pending_allows);
+        allows.append(&mut line_allows);
+        map.lines.push(lineno);
+        map.allows.push(allows);
         lines.push((lineno, text.to_string()));
         pc += 1;
     }
@@ -378,7 +448,7 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
         }
     }
 
-    Ok(Program::new(name, instrs)?)
+    Ok((Program::new(name, instrs)?, map))
 }
 
 /// Disassembles a program back into assembler syntax.
@@ -628,6 +698,40 @@ halt
         assert_eq!(*p.fetch(0), Instr::Bar);
         let q = assemble("b", &disassemble(&p)).unwrap();
         assert_eq!(p.instrs(), q.instrs());
+    }
+
+    #[test]
+    fn source_map_lines_and_allows() {
+        let src = "\
+# header comment
+li r1, 1
+# verify:allow(MV010): intentionally dead
+li r2, 2
+loop:
+    addi r1, r1, 1   # verify:allow(MV004)
+    blt r1, r2, loop
+    halt
+";
+        let (p, map) = assemble_with_map("m", src).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(map.line_of(0), Some(2));
+        assert_eq!(map.line_of(1), Some(4));
+        assert_eq!(map.line_of(2), Some(6));
+        // Allow on the comment line above carries to the next instruction.
+        assert!(map.allows(1, "MV010"));
+        assert!(!map.allows(0, "MV010"));
+        // Allow on the instruction's own line.
+        assert!(map.allows(2, "MV004"));
+        assert_eq!(map.allowed_codes(2), &["MV004".to_string()]);
+        assert!(map.allowed_codes(3).is_empty());
+    }
+
+    #[test]
+    fn source_map_allow_does_not_leak_past_instruction() {
+        let src = "# verify:allow(MV002): first only\nli r1, 1\nli r2, 2\nhalt\n";
+        let (_, map) = assemble_with_map("m", src).unwrap();
+        assert!(map.allows(0, "MV002"));
+        assert!(!map.allows(1, "MV002"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod instr;
 pub mod program;
 pub mod reg;
 
-pub use asm::{assemble, disassemble, AsmError};
+pub use asm::{assemble, assemble_with_map, disassemble, AsmError, SourceMap};
 pub use builder::{Label, ProgramBuilder};
 pub use cfg::{Cfg, ReconvergenceMap};
 pub use instr::{AddrSpace, AluOp, CmpOp, FAluOp, Instr};

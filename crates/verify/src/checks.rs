@@ -1,0 +1,339 @@
+//! The MV0xx diagnostic checks.
+//!
+//! Every check consumes the block-level facts in [`Analysis`] and replays a
+//! block's transfer function when it needs instruction-granular state. The
+//! full catalogue lives in [`crate::Code`]; the ordering here follows the
+//! code numbers.
+
+use crate::analysis::{const_address, const_transfer, reg_bit, regset_names, Analysis};
+use crate::{Code, Diagnostic, VerifyConfig};
+use millipede_isa::{AddrSpace, Instr, Program, Reg, SourceMap};
+
+/// Runs every check over `program`, returning the surviving diagnostics and
+/// the number suppressed by `verify:allow` / config-level allows.
+pub fn run(
+    program: &Program,
+    analysis: &Analysis,
+    config: &VerifyConfig,
+    map: Option<&SourceMap>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut diags = Vec::new();
+    check_unreachable(program, analysis, &mut diags);
+    check_uninitialized(program, analysis, &mut diags);
+    check_nontermination(program, analysis, &mut diags);
+    check_memory_bounds(program, analysis, config, &mut diags);
+    check_reconvergence(program, analysis, &mut diags);
+    check_pbuf_progress(program, analysis, &mut diags);
+    check_barrier_divergence(program, analysis, &mut diags);
+    if config.strict {
+        check_dead_writes(program, analysis, &mut diags);
+    }
+    diags.sort_by_key(|d| (d.pc, d.code as u8));
+
+    // Apply the escape hatches: per-instruction `verify:allow(MVxxx)`
+    // comments from the assembler source map, then config-wide allows.
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diags {
+        let allowed =
+            config.allow.contains(&d.code) || map.is_some_and(|m| m.allows(d.pc, d.code.name()));
+        if allowed {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+fn diag(code: Code, pc: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: code.severity(),
+        pc,
+        line: None,
+        message,
+    }
+}
+
+/// MV001: blocks no execution path from the entry can reach.
+fn check_unreachable(_program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (b, block) in a.cfg.blocks().iter().enumerate() {
+        if !a.reachable[b] {
+            out.push(diag(
+                Code::Mv001,
+                block.start,
+                format!(
+                    "unreachable code: block at pc {}..{} can never execute",
+                    block.start, block.end
+                ),
+            ));
+        }
+    }
+}
+
+/// MV002: a register read on some path before any write reaches it.
+fn check_uninitialized(program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let instrs = program.instrs();
+    for (b, block) in a.cfg.blocks().iter().enumerate() {
+        if !a.reachable[b] {
+            continue;
+        }
+        let mut defined = a.defined_in[b];
+        for pc in block.start..block.end {
+            let instr = &instrs[pc as usize];
+            for u in instr.uses() {
+                if !u.is_zero() && defined & reg_bit(u) == 0 {
+                    out.push(diag(
+                        Code::Mv002,
+                        pc,
+                        format!(
+                            "read of possibly-uninitialized register {u} \
+                             (defined on entry: {})",
+                            regset_names(a.defined_in[b])
+                        ),
+                    ));
+                }
+            }
+            if let Some(d) = instr.def() {
+                defined |= reg_bit(d);
+            }
+        }
+    }
+}
+
+/// MV003: reachable code with no path to a `Halt` (guaranteed livelock).
+fn check_nontermination(_program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let stuck: Vec<usize> = (0..a.cfg.blocks().len())
+        .filter(|&b| a.reachable[b] && !a.can_reach_exit[b])
+        .collect();
+    if stuck.is_empty() {
+        return;
+    }
+    let first_pc = stuck
+        .iter()
+        .map(|&b| a.cfg.blocks()[b].start)
+        .min()
+        .unwrap_or(0);
+    let instr_count: u32 = stuck
+        .iter()
+        .map(|&b| a.cfg.blocks()[b].end - a.cfg.blocks()[b].start)
+        .sum();
+    out.push(diag(
+        Code::Mv003,
+        first_pc,
+        format!(
+            "non-terminating region: {instr_count} reachable instruction(s) \
+             across {} block(s) have no path to halt",
+            stuck.len()
+        ),
+    ));
+}
+
+/// MV004/MV005/MV006: constant-proven out-of-bounds or misaligned accesses.
+fn check_memory_bounds(
+    program: &Program,
+    a: &Analysis,
+    config: &VerifyConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let instrs = program.instrs();
+    for (b, block) in a.cfg.blocks().iter().enumerate() {
+        if !a.reachable[b] {
+            continue;
+        }
+        let mut st = a.consts_in[b];
+        for pc in block.start..block.end {
+            let instr = &instrs[pc as usize];
+            let access: Option<(AddrSpace, Reg, i32)> = match *instr {
+                Instr::Ld {
+                    addr,
+                    offset,
+                    space,
+                    ..
+                } => Some((space, addr, offset)),
+                Instr::St { addr, offset, .. } => Some((AddrSpace::Local, addr, offset)),
+                _ => None,
+            };
+            if let Some((space, addr, offset)) = access {
+                if let Some(ea) = const_address(&st, addr, offset) {
+                    if ea % 4 != 0 {
+                        out.push(diag(
+                            Code::Mv005,
+                            pc,
+                            format!(
+                                "misaligned {space}-space access: effective address \
+                                 {ea} is not 4-byte aligned ({offset}({addr}))"
+                            ),
+                        ));
+                    } else {
+                        let bound = match space {
+                            AddrSpace::Local => config.local_bytes,
+                            AddrSpace::Input => config.input_bytes,
+                        };
+                        if let Some(limit) = bound {
+                            if ea + 4 > limit {
+                                let code = match space {
+                                    AddrSpace::Local => Code::Mv004,
+                                    AddrSpace::Input => Code::Mv006,
+                                };
+                                out.push(diag(
+                                    code,
+                                    pc,
+                                    format!(
+                                        "{space}-space access out of bounds: effective \
+                                         address {ea} exceeds the configured {limit}-byte \
+                                         {space} size ({offset}({addr}))"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            const_transfer(instr, &mut st);
+        }
+    }
+}
+
+/// MV007: a conditional branch whose divergent paths only rejoin at thread
+/// exit (no computable reconvergence PC).
+fn check_reconvergence(program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        let pc = pc as u32;
+        if !instr.is_branch() || !a.reachable[a.cfg.block_of(pc)] {
+            continue;
+        }
+        if a.reconv.reconvergence_pc(pc).is_none() {
+            out.push(diag(
+                Code::Mv007,
+                pc,
+                "branch has no reconvergence PC: taken and fallthrough paths only \
+                 rejoin at thread exit, serializing SIMT execution to the end of \
+                 the kernel"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// MV008: a loop reads the input space without ever advancing the load's
+/// address register, so it can never consume new prefetch-buffer entries —
+/// the static signature of a pbuf flow-control livelock.
+fn check_pbuf_progress(program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let instrs = program.instrs();
+    for l in &a.loops {
+        // Registers redefined anywhere in the loop body.
+        let mut redefined = 0u32;
+        for b in l.blocks() {
+            let block = &a.cfg.blocks()[b];
+            for pc in block.start..block.end {
+                if let Some(d) = instrs[pc as usize].def() {
+                    redefined |= reg_bit(d);
+                }
+            }
+        }
+        for b in l.blocks() {
+            let block = &a.cfg.blocks()[b];
+            for pc in block.start..block.end {
+                if let Instr::Ld {
+                    addr,
+                    space: AddrSpace::Input,
+                    ..
+                } = instrs[pc as usize]
+                {
+                    if addr.is_zero() || redefined & reg_bit(addr) == 0 {
+                        let header_pc = a.cfg.blocks()[l.header].start;
+                        out.push(diag(
+                            Code::Mv008,
+                            pc,
+                            format!(
+                                "input load makes no progress: the loop headed at \
+                                 pc {header_pc} never redefines address register \
+                                 {addr}, so the same prefetch-buffer entry is \
+                                 re-read forever (flow-control livelock)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// MV009: a barrier control-dependent on a thread-divergent branch — some
+/// threads may skip the `bar` while siblings wait at it.
+fn check_barrier_divergence(program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let instrs = program.instrs();
+    for (pc, instr) in instrs.iter().enumerate() {
+        let pc = pc as u32;
+        if !matches!(instr, Instr::Bar) {
+            continue;
+        }
+        let bar_block = a.cfg.block_of(pc);
+        if !a.reachable[bar_block] {
+            continue;
+        }
+        for &br_pc in &a.divergent_branches {
+            let br_block = a.cfg.block_of(br_pc);
+            // Classic control dependence: the bar's block post-dominates one
+            // successor of the branch but not the branch itself.
+            let dependent = !a.postdominates(bar_block, br_block)
+                && a.cfg.blocks()[br_block]
+                    .succs
+                    .iter()
+                    .any(|&s| a.postdominates(bar_block, s));
+            if dependent {
+                out.push(diag(
+                    Code::Mv009,
+                    pc,
+                    format!(
+                        "barrier is control-dependent on the thread-divergent \
+                         branch at pc {br_pc}: threads taking different paths \
+                         may deadlock waiting for each other"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// MV010 (strict mode): a register write whose value no path ever reads.
+/// Input-space loads are exempt — consuming a prefetch-buffer entry is a
+/// side effect even when the loaded value is unused.
+fn check_dead_writes(program: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let instrs = program.instrs();
+    for (b, block) in a.cfg.blocks().iter().enumerate() {
+        if !a.reachable[b] {
+            continue;
+        }
+        let mut live = a.live_out[b];
+        for pc in (block.start..block.end).rev() {
+            let instr = &instrs[pc as usize];
+            if let Some(d) = instr.def() {
+                let exempt = d.is_zero()
+                    || matches!(
+                        instr,
+                        Instr::Ld {
+                            space: AddrSpace::Input,
+                            ..
+                        }
+                    );
+                if !exempt && live & reg_bit(d) == 0 {
+                    out.push(diag(
+                        Code::Mv010,
+                        pc,
+                        format!("dead write: the value stored in {d} is never read"),
+                    ));
+                }
+                live &= !reg_bit(d);
+            }
+            for u in instr.uses() {
+                if !u.is_zero() {
+                    live |= reg_bit(u);
+                }
+            }
+        }
+    }
+}

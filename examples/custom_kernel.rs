@@ -2,17 +2,19 @@
 //!
 //! The eight paper benchmarks are built programmatically, but the mini-ISA
 //! also has a plain-text assembler — this example writes a small
-//! "histogram of record deltas" Map kernel by hand, runs it through the
-//! SIMT reconvergence analysis, executes it functionally, and then times it
-//! on a Millipede processor via a thin custom `Workload`.
+//! "histogram of record deltas" Map kernel by hand, statically verifies it
+//! (the check-before-simulate workflow), runs it through the SIMT
+//! reconvergence analysis, executes it functionally, and then times it on a
+//! Millipede processor via a thin custom `Workload`.
 //!
 //! ```text
 //! cargo run --release --example custom_kernel
 //! ```
 
 use millipede::engine::run_functional;
-use millipede::isa::{assemble, disassemble, ReconvergenceMap};
+use millipede::isa::{disassemble, ReconvergenceMap};
 use millipede::mapreduce::{Dataset, InterleavedLayout, ThreadGrid};
+use millipede::verify::{verify_source, VerifyConfig};
 use millipede::workloads::{Benchmark, Reduced, Workload};
 
 /// The kernel, in assembler syntax. ABI registers (set at launch):
@@ -50,8 +52,18 @@ next:
 ";
 
 fn main() {
-    // 1. Assemble and inspect.
-    let program = assemble("delta_histogram", KERNEL).expect("kernel assembles");
+    // 1. Assemble and statically verify — a malformed kernel would otherwise
+    //    surface cycle-by-cycle at simulation time (or deadlock the pbuf
+    //    flow control). The verifier checks it against the 64-byte live
+    //    state this example grants each thread.
+    let config = VerifyConfig {
+        local_bytes: Some(64),
+        ..VerifyConfig::default()
+    };
+    let (program, report) =
+        verify_source("delta_histogram", KERNEL, &config).expect("kernel assembles");
+    assert!(report.is_clean(), "kernel rejected by verifier:\n{report}");
+    println!("verifier: {report}");
     println!(
         "assembled {} instructions ({} B of the 4 KB I-cache budget)",
         program.len(),

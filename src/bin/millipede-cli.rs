@@ -1,8 +1,12 @@
-//! Command-line front end: simulate any benchmark on any architecture.
+//! Command-line front end: simulate any benchmark on any architecture, or
+//! statically verify kernel programs before they reach a simulator.
 //!
 //! ```text
 //! millipede-cli <benchmark> <architecture> [--chunks N] [--seed S]
 //!               [--corelets N] [--pbuf N] [--csv]
+//! millipede-cli verify <kernel.asm>... [--json] [--strict] [--annotate]
+//!               [--local-bytes N] [--input-bytes N]
+//! millipede-cli verify --kernels [--json] [--strict] [--annotate]
 //! millipede-cli list
 //! ```
 //!
@@ -11,10 +15,21 @@
 //! ```text
 //! millipede-cli nbayes millipede --chunks 64
 //! millipede-cli kmeans ssmc --csv
+//! millipede-cli verify my_kernel.asm --json
+//! millipede-cli verify --kernels --annotate
 //! ```
+//!
+//! `verify` exits 0 when every program is clean, 1 when any diagnostic
+//! survives, and 2 on usage or I/O errors. `.asm` sources may carry
+//! `# verify-config: local-bytes=N input-bytes=N strict` directives and
+//! per-instruction `# verify:allow(MVxxx): reason` suppressions.
 
 use millipede::sim::{run_one, Arch, SimConfig};
-use millipede::workloads::Benchmark;
+use millipede::verify::{
+    annotate, annotate_source, reports_to_json, verify_program, verify_source, VerifyConfig,
+    VerifyReport,
+};
+use millipede::workloads::{Benchmark, Workload};
 
 const ARCHS: [(&str, Arch); 8] = [
     ("gpgpu", Arch::Gpgpu),
@@ -30,9 +45,104 @@ const ARCHS: [(&str, Arch); 8] = [
 fn usage() -> ! {
     eprintln!(
         "usage: millipede-cli <benchmark> <architecture> [--chunks N] [--seed S] \
-         [--corelets N] [--pbuf N] [--csv]\n       millipede-cli list"
+         [--corelets N] [--pbuf N] [--csv]\n       \
+         millipede-cli verify (<kernel.asm>... | --kernels) [--json] [--strict] \
+         [--annotate] [--local-bytes N] [--input-bytes N]\n       \
+         millipede-cli list"
     );
     std::process::exit(2);
+}
+
+/// The `verify` subcommand: static analysis over `.asm` files or the eight
+/// compiled-in kernels. Returns the process exit code.
+fn verify_cmd(args: &[String]) -> i32 {
+    let mut base = VerifyConfig::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut kernels = false;
+    let mut json = false;
+    let mut do_annotate = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize, what: &str| -> u64 {
+            *i += 1;
+            args.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{what} needs a positive integer");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--kernels" => kernels = true,
+            "--json" => json = true,
+            "--strict" => base.strict = true,
+            "--annotate" => do_annotate = true,
+            "--local-bytes" => base.local_bytes = Some(take(&mut i, "--local-bytes")),
+            "--input-bytes" => base.input_bytes = Some(take(&mut i, "--input-bytes")),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if kernels != files.is_empty() {
+        // Exactly one of --kernels / file arguments must be given.
+        usage();
+    }
+
+    let mut reports: Vec<VerifyReport> = Vec::new();
+    if kernels {
+        for &bench in &Benchmark::ALL {
+            let w = Workload::build(bench, 1, 2048, 1);
+            let config = VerifyConfig {
+                local_bytes: Some(w.live_bytes as u64),
+                ..base.clone()
+            };
+            reports.push(verify_program(&w.program, &config));
+            if do_annotate {
+                println!("{}", annotate(&w.program, &config));
+            }
+        }
+    } else {
+        for path in &files {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return 2;
+                }
+            };
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+            match verify_source(&name, &source, &base) {
+                Ok((_, report)) => {
+                    if do_annotate {
+                        match annotate_source(&name, &source, &base) {
+                            Ok(listing) => println!("{listing}"),
+                            Err(e) => eprintln!("{path}: {e}"),
+                        }
+                    }
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("{path}: assembly failed: {e}");
+                    return 2;
+                }
+            }
+        }
+    }
+
+    if json {
+        println!("{}", reports_to_json(&reports));
+    } else {
+        for r in &reports {
+            println!("{r}");
+        }
+    }
+    i32::from(reports.iter().any(|r| !r.is_clean()))
 }
 
 fn list() {
@@ -51,6 +161,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("list") {
         list();
         return;
+    }
+    if args.first().map(String::as_str) == Some("verify") {
+        std::process::exit(verify_cmd(&args[1..]));
     }
     if args.len() < 2 {
         usage();

@@ -17,4 +17,5 @@ pub use millipede_multicore as multicore;
 pub use millipede_sim as sim;
 pub use millipede_ssmc as ssmc;
 pub use millipede_telemetry as telemetry;
+pub use millipede_verify as verify;
 pub use millipede_workloads as workloads;

@@ -3,7 +3,9 @@
 //!
 //! 1. **Lint pass** — the repo-specific static checks run over this very
 //!    source tree and must come back clean (violations are either fixed or
-//!    carry a reasoned `audit:allow`).
+//!    carry a reasoned `audit:allow`), and every lint must still fire on a
+//!    crafted bad snippet (negative fixtures), so lint rot fails CI instead
+//!    of passing silently.
 //! 2. **Invariant sanitizer** — silent on a full valid Millipede trace with
 //!    checks forced on, and loud on hand-built illegal traces.
 //! 3. **Determinism** — each architecture's smoke configuration runs twice
@@ -32,6 +34,115 @@ fn source_tree_passes_the_lint_pass() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+// ----------------------------------------------- lint negative fixtures
+//
+// Each lint must fire on a minimal bad snippet. The snippets are assembled
+// with `concat` where needed so this test file never contains the trigger
+// tokens itself. `scan_source` takes a workspace-relative path because
+// several lints are scoped by crate (hot-path, wall-clock).
+
+fn lints_found(rel_path: &str, content: &str) -> Vec<&'static str> {
+    millipede_audit::scan_source(rel_path, content)
+        .iter()
+        .map(|d| d.lint.name())
+        .collect()
+}
+
+#[test]
+fn lint_module_doc_fires_on_undocumented_module() {
+    let src = "pub fn x() {}\n";
+    assert!(lints_found("crates/core/src/bad.rs", src).contains(&"module-doc"));
+}
+
+#[test]
+fn lint_hash_iteration_fires_on_hash_containers() {
+    let container = ["Hash", "Map"].concat();
+    let src = format!("//! doc\nuse std::collections::{container};\n");
+    assert!(lints_found("crates/core/src/bad.rs", &src).contains(&"hash-iteration"));
+    let container = ["Hash", "Set"].concat();
+    let src = format!("//! doc\nuse std::collections::{container};\n");
+    assert!(lints_found("crates/sim/src/bad.rs", &src).contains(&"hash-iteration"));
+}
+
+#[test]
+fn lint_cast_truncation_fires_on_narrowing_timing_cast() {
+    let src = "//! doc\npub fn f(cycles: u64) -> u32 { cycles as u32 }\n";
+    assert!(lints_found("crates/sim/src/bad.rs", src).contains(&"cast-truncation"));
+}
+
+#[test]
+fn lint_unwrap_fires_in_hot_path_crates_only() {
+    let src = "//! doc\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    // Hot-path crate: fires.
+    assert!(lints_found("crates/engine/src/bad.rs", src).contains(&"unwrap-in-hot-path"));
+    // Driver crate: allowed to unwrap on user input.
+    assert!(!lints_found("crates/sim/src/ok.rs", src).contains(&"unwrap-in-hot-path"));
+}
+
+#[test]
+fn lint_float_eq_fires_on_exact_literal_comparison() {
+    let src = "//! doc\npub fn f(x: f64) -> bool { x == 1.0 }\n";
+    assert!(lints_found("crates/core/src/bad.rs", src).contains(&"float-eq"));
+}
+
+#[test]
+fn lint_wall_clock_fires_in_telemetry_only() {
+    let src = "//! doc\nuse std::time::Instant;\n";
+    assert!(lints_found("crates/telemetry/src/bad.rs", src).contains(&"wall-clock"));
+    assert!(!lints_found("crates/core/src/ok.rs", src).contains(&"wall-clock"));
+}
+
+#[test]
+fn lint_allow_escape_hatch_suppresses_with_reason() {
+    let container = ["Hash", "Map"].concat();
+    let src = format!(
+        "//! doc\n// audit:allow(hash-iteration): negative-fixture exercise\n\
+         use std::collections::{container};\n"
+    );
+    assert!(!lints_found("crates/core/src/ok.rs", &src).contains(&"hash-iteration"));
+}
+
+#[test]
+fn every_lint_has_a_firing_negative_fixture() {
+    // Completeness guard: if a new lint lands in the catalogue, it needs a
+    // fixture in this file (and if a lint stops firing, the fixture tests
+    // above catch it individually).
+    let container = ["Hash", "Map"].concat();
+    let hash_src = format!("//! doc\nuse std::collections::{container};\n");
+    let fixtures: [(&str, String); 6] = [
+        ("crates/core/src/a.rs", "pub fn x() {}\n".to_string()),
+        ("crates/core/src/b.rs", hash_src),
+        (
+            "crates/sim/src/c.rs",
+            "//! doc\npub fn f(cycles: u64) -> u32 { cycles as u32 }\n".to_string(),
+        ),
+        (
+            "crates/engine/src/d.rs",
+            "//! doc\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+        ),
+        (
+            "crates/core/src/e.rs",
+            "//! doc\npub fn f(x: f64) -> bool { x == 1.0 }\n".to_string(),
+        ),
+        (
+            "crates/telemetry/src/f.rs",
+            "//! doc\nuse std::time::Instant;\n".to_string(),
+        ),
+    ];
+    let mut fired: Vec<&str> = fixtures
+        .iter()
+        .flat_map(|(p, s)| lints_found(p, s))
+        .collect();
+    fired.sort_unstable();
+    fired.dedup();
+    let mut all: Vec<&str> = millipede_audit::Lint::ALL
+        .iter()
+        .map(|l| l.name())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(fired, all, "some lint has no firing negative fixture");
 }
 
 // ------------------------------------------------------ invariant sanitizer

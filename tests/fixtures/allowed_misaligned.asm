@@ -1,0 +1,9 @@
+# The escape hatch: the same misaligned access as mv005_misaligned.asm,
+# deliberately waived with a per-instruction verify:allow — the verifier
+# must count it as suppressed, not report it.
+# verify-expect: clean
+    li   r10, 2
+    # verify:allow(MV005): deliberate misalignment exercising the escape hatch
+    ld.local r11, 4(r10)
+    st.local r11, 0(r0)
+    halt

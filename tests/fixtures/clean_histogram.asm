@@ -1,0 +1,23 @@
+# A well-formed kernel: walks its per-thread records, bucketing each input
+# word, with the launch-ABI registers (r1 lane offset, r2 chunks, r3
+# records/thread/chunk, r4 record stride, r6 chunk stride) driving the walk.
+# verify-config: local-bytes=64 strict
+# verify-expect: clean
+    li   r28, 0          # chunk counter
+    li   r29, 0          # chunk base
+chunk:
+    add  r31, r29, r1    # record address = base + lane offset
+    li   r30, 0          # slot counter
+slot:
+    ld.in r10, 0(r31)
+    andi r11, r10, 12    # bucket = (value & 0b1100) -> byte offset 0/4/8/12
+    ld.local r12, 0(r11)
+    addi r12, r12, 1
+    st.local r12, 0(r11)
+    add  r31, r31, r4
+    addi r30, r30, 1
+    blt  r30, r3, slot
+    add  r29, r29, r6
+    addi r28, r28, 1
+    blt  r28, r2, chunk
+    halt

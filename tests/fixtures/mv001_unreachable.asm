@@ -1,0 +1,6 @@
+# Seeded bug: the jump skips over an instruction no path can reach.
+# verify-expect: MV001
+    jmp  over
+    li   r10, 1          # dead: nothing ever falls through or jumps here
+over:
+    halt

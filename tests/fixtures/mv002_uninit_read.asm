@@ -1,0 +1,11 @@
+# Seeded bug: r10 is only written on the taken path, so the read at the
+# join sees garbage whenever the branch falls through.
+# verify-expect: MV002
+    beq  r1, r2, set
+    jmp  join
+set:
+    li   r10, 1
+join:
+    add  r11, r10, r0    # r10 possibly uninitialized here
+    st.local r11, 0(r0)
+    halt

@@ -1,0 +1,7 @@
+# Seeded bug: the loop has no exit condition — reachable code with no path
+# to halt, a guaranteed livelock on every architecture.
+# verify-expect: MV003
+    li   r10, 0
+top:
+    addi r10, r10, 1
+    jmp  top

@@ -1,0 +1,7 @@
+# Seeded bug: the store lands at byte 64 of a 64-byte local memory
+# (valid byte addresses are 0..63), which faults at simulation time.
+# verify-config: local-bytes=64
+# verify-expect: MV004
+    li   r10, 60
+    st.local r0, 4(r10)  # effective address 64: one word past the end
+    halt

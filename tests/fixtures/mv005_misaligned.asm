@@ -1,0 +1,7 @@
+# Seeded bug: word accesses must be 4-byte aligned; effective address 6
+# is constant-provably misaligned.
+# verify-expect: MV005
+    li   r10, 2
+    ld.local r11, 4(r10)  # effective address 6
+    st.local r11, 0(r0)
+    halt

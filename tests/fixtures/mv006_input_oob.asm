@@ -1,0 +1,7 @@
+# Seeded bug: the input dataset is declared 128 bytes, but the load reads
+# word 32 (bytes 128..131) — past the end of the die-stacked image.
+# verify-config: input-bytes=128
+# verify-expect: MV006
+    ld.in r10, 128(r0)
+    st.local r10, 0(r0)
+    halt

@@ -1,0 +1,7 @@
+# Seeded bug: the two sides of the branch halt separately, so the SIMT
+# paths only rejoin at thread exit — no computable reconvergence PC.
+# verify-expect: MV007
+    beq  r1, r2, other
+    halt
+other:
+    halt

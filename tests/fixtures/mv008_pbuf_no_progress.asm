@@ -1,0 +1,12 @@
+# Seeded bug: the loop reads the input space every iteration but never
+# advances r11, so the same prefetch-buffer entry is re-read forever and
+# the pbuf flow control can never retire it (livelock).
+# verify-expect: MV008
+    li   r10, 0
+    add  r11, r1, r0
+top:
+    ld.in r12, 0(r11)    # r11 never redefined inside the loop
+    addi r10, r10, 1
+    blt  r10, r2, top
+    st.local r12, 0(r0)
+    halt

@@ -1,0 +1,8 @@
+# Seeded bug: whether a thread reaches the barrier depends on its own
+# record data — threads that skip it leave siblings waiting forever.
+# verify-expect: MV009
+    ld.in r10, 0(r1)
+    beq  r10, r0, skip
+    bar                   # control-dependent on a divergent branch
+skip:
+    halt

@@ -1,0 +1,8 @@
+# Seeded bug (strict mode): r10 is written and never read — usually a
+# typo'd destination register in a real kernel.
+# verify-config: strict
+# verify-expect: MV010
+    li   r10, 5
+    li   r11, 1
+    st.local r11, 0(r0)
+    halt

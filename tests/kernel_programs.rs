@@ -1,7 +1,9 @@
 //! Program-level properties of the eight shipped kernels: assembler
-//! round-trips, I-cache budgets, CFG analysis, and ABI discipline.
+//! round-trips, I-cache budgets, CFG analysis, static verification, and ABI
+//! discipline.
 
 use millipede::isa::{assemble, disassemble, AddrSpace, Instr, ReconvergenceMap};
+use millipede::verify::{verify_program, VerifyConfig};
 use millipede::workloads::{Benchmark, Workload};
 
 fn all_programs() -> Vec<(Benchmark, millipede::isa::Program)> {
@@ -21,6 +23,46 @@ fn every_kernel_disassembles_and_reassembles_identically() {
             program.instrs(),
             back.instrs(),
             "{}: round-trip mismatch",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn every_kernel_round_trips_through_three_assembler_passes() {
+    // assemble(disassemble(p)) equals p (above); additionally the *textual*
+    // form must be a fixed point, so the disassembler's synthetic labels and
+    // operand formatting are stable across repeated round trips.
+    for (bench, program) in all_programs() {
+        let text1 = disassemble(&program);
+        let back = assemble(bench.name(), &text1).expect("first reassembly");
+        let text2 = disassemble(&back);
+        assert_eq!(
+            text1,
+            text2,
+            "{}: disassembly not a fixed point",
+            bench.name()
+        );
+        let back2 = assemble(bench.name(), &text2).expect("second reassembly");
+        assert_eq!(back.instrs(), back2.instrs(), "{}", bench.name());
+    }
+}
+
+#[test]
+fn every_kernel_verifies_clean_at_construction() {
+    // The acceptance bar for the static verifier: all eight shipped kernels
+    // produce zero diagnostics (no `verify:allow` escapes involved) when
+    // checked against their own workload's local-memory contract.
+    for &bench in &Benchmark::ALL {
+        let w = Workload::build(bench, 1, 2048, 1);
+        let config = VerifyConfig {
+            local_bytes: Some(w.live_bytes as u64),
+            ..VerifyConfig::default()
+        };
+        let report = verify_program(&w.program, &config);
+        assert!(
+            report.is_clean() && report.suppressed == 0,
+            "{}: verifier found problems:\n{report}",
             bench.name()
         );
     }

@@ -1,0 +1,145 @@
+//! Fixture-driven regression tests for the static kernel verifier.
+//!
+//! Every `.asm` file under `tests/fixtures/` declares its expected outcome
+//! in a `# verify-expect:` header — either `clean` or an `MV0xx` code — and
+//! may carry `# verify-config:` directives (local/input sizes, strict mode)
+//! so each fixture is self-contained. The corpus must cover every published
+//! diagnostic code: a check that stops firing on its seeded bug fails here,
+//! not in the field.
+
+use millipede::verify::{verify_source, Code, VerifyConfig, VerifyReport};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses the `# verify-expect:` header: `None` means expected clean.
+fn expected_code(source: &str, path: &Path) -> Option<Code> {
+    for line in source.lines() {
+        let Some(rest) = line.trim().strip_prefix('#') else {
+            continue;
+        };
+        let Some(rest) = rest.trim().strip_prefix("verify-expect:") else {
+            continue;
+        };
+        let tok = rest.trim();
+        if tok == "clean" {
+            return None;
+        }
+        return Some(
+            Code::parse(tok)
+                .unwrap_or_else(|| panic!("{}: bad verify-expect `{tok}`", path.display())),
+        );
+    }
+    panic!(
+        "{}: fixture lacks a `# verify-expect:` header",
+        path.display()
+    );
+}
+
+fn verify_fixture(path: &Path) -> (Option<Code>, VerifyReport) {
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let expect = expected_code(&source, path);
+    let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+    let (_, report) = verify_source(&name, &source, &VerifyConfig::default())
+        .unwrap_or_else(|e| panic!("{}: failed to assemble: {e}", path.display()));
+    (expect, report)
+}
+
+fn all_fixtures() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("tests/fixtures exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "asm"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures found");
+    files
+}
+
+#[test]
+fn every_fixture_matches_its_expected_outcome() {
+    for path in all_fixtures() {
+        let (expect, report) = verify_fixture(&path);
+        match expect {
+            None => assert!(
+                report.is_clean(),
+                "{}: expected clean, got:\n{report}",
+                path.display()
+            ),
+            Some(code) => {
+                assert!(
+                    report.has(code),
+                    "{}: expected {code}, got:\n{report}",
+                    path.display()
+                );
+                assert!(!report.is_clean(), "{}", path.display());
+            }
+        }
+    }
+}
+
+#[test]
+fn fixture_corpus_covers_every_diagnostic_code() {
+    let mut covered: Vec<Code> = all_fixtures()
+        .iter()
+        .filter_map(|p| verify_fixture(p).0)
+        .collect();
+    covered.sort();
+    covered.dedup();
+    assert_eq!(
+        covered,
+        Code::ALL.to_vec(),
+        "every MV0xx code needs a seeded-bug fixture"
+    );
+}
+
+#[test]
+fn diagnostics_carry_source_lines_from_the_assembler() {
+    for path in all_fixtures() {
+        let source = std::fs::read_to_string(&path).unwrap();
+        let (expect, report) = verify_fixture(&path);
+        if expect.is_none() {
+            continue;
+        }
+        for d in &report.diagnostics {
+            let line = d
+                .line
+                .unwrap_or_else(|| panic!("{}: diagnostic lacks a line", path.display()));
+            let text = source
+                .lines()
+                .nth(line - 1)
+                .unwrap_or_else(|| panic!("{}: line {line} out of range", path.display()));
+            assert!(
+                !text.trim().is_empty() && !text.trim().starts_with('#'),
+                "{}: line {line} is not an instruction: {text:?}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn escape_hatch_fixture_records_its_suppression() {
+    let path = fixtures_dir().join("allowed_misaligned.asm");
+    let (_, report) = verify_fixture(&path);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1, "the verify:allow must be counted");
+}
+
+#[test]
+fn fixture_reports_serialize_to_json_with_their_codes() {
+    for path in all_fixtures() {
+        let (expect, report) = verify_fixture(&path);
+        let json = report.to_json();
+        match expect {
+            None => assert!(json.contains("\"clean\": true"), "{}", path.display()),
+            Some(code) => assert!(
+                json.contains(&format!("\"code\": \"{code}\"")),
+                "{}: {json}",
+                path.display()
+            ),
+        }
+    }
+}
