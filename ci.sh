@@ -36,6 +36,16 @@ MILLIPEDE_FASTFORWARD=0 cargo test --offline -q -p millipede \
 MILLIPEDE_FASTFORWARD=1 cargo test --offline -q -p millipede \
     --test fastforward_differential --test golden_digests
 
+echo "==> scheduler differential (MILLIPEDE_SCHEDULER=poll vs =wheel)"
+# The event-wheel engine must reproduce the polled schedule bit-for-bit:
+# the pinned golden digests and the randomized scheduler differentials
+# both run under each setting of the env knob, so a regression in either
+# engine (or in the env plumbing itself) fails CI.
+MILLIPEDE_SCHEDULER=poll cargo test --offline -q -p millipede \
+    --test golden_digests --test scheduler_differential
+MILLIPEDE_SCHEDULER=wheel cargo test --offline -q -p millipede \
+    --test golden_digests --test scheduler_differential
+
 echo "==> telemetry (MILLIPEDE_TELEMETRY=1 digests + trace export)"
 # Telemetry is observational: the golden digests must hold with it on, and
 # the telemetry suite's own differentials must pass under the env toggle.

@@ -30,8 +30,8 @@ mod run_impl {
     use super::*;
     use millipede_engine::step::effective_access;
     use millipede_engine::{
-        mhz_for_period_ps, period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect,
-        ThreadCtx,
+        mhz_for_period_ps, period_ps_for_mhz, step, Arena2, CoreStats, DualClock, Edge, EventWheel,
+        FlagGrid, StepEffect, ThreadCtx,
     };
     use millipede_isa::AddrSpace;
     use millipede_mapreduce::ThreadGrid;
@@ -42,15 +42,35 @@ mod run_impl {
     const TAG_PREFETCH_BASE: u64 = 1 << 32;
     const TAG_BYPASS: u64 = 1 << 33;
 
-    struct Ctx {
-        t: ThreadCtx,
-        done: bool,
-        /// Set while the context is blocked on memory (dedups rate-matcher
+    /// Per-context hot state, struct-of-arrays: thread contexts live in a
+    /// flat lane-major arena and each scheduling flag is one bit per
+    /// context, so the issue loop's whole-corelet queries are word ops.
+    struct Threads {
+        t: Arena2<ThreadCtx>,
+        done: FlagGrid,
+        /// Set while a context is blocked on memory (dedups rate-matcher
         /// Empty signals and demand-stall counting).
-        stalled: bool,
-        /// Set while the context waits at a processor-wide software barrier
+        stalled: FlagGrid,
+        /// Set while a context waits at a processor-wide software barrier
         /// (§IV-C's alternative to hardware flow control).
-        at_barrier: bool,
+        at_barrier: FlagGrid,
+    }
+
+    /// Compute-sleep bookkeeping for the event wheel: what the quiescent
+    /// state looked like when the processor went to sleep.
+    struct Sleep {
+        /// DRAM queue free slots at sleep entry. A later increase is
+        /// compute-visible only if the queue was full (a blocked fetch or
+        /// bypass push may be waiting); otherwise nothing was blocked on
+        /// it and nothing new can block while asleep.
+        free_slots: usize,
+        /// Compute-cycle count at sleep entry (telemetry anchor).
+        anchor_cycle: u64,
+        /// Wall time of the sleep-entry compute edge (telemetry anchor).
+        /// The compute period cannot change while asleep — DFS signals
+        /// need compute activity — so skipped cycle `k` after the anchor
+        /// happened at exactly `anchor_now + k·period`.
+        anchor_now: TimePs,
     }
 
     /// Runs `workload` to completion on one Millipede processor.
@@ -100,25 +120,25 @@ mod run_impl {
         );
         let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
         let nominal = period_ps_for_mhz(cfg.compute_mhz);
-        let mut clock = DualClock::new(nominal, cfg.timing.channel_period_ps);
+        let mut wheel = EventWheel::new(
+            DualClock::new(nominal, cfg.timing.channel_period_ps),
+            cfg.scheduler,
+        );
+        let mc_wake = wheel.register();
         let mut rate = RateMatcher::new(cfg.rate_match, nominal, cfg.rate_cooldown);
         pbuf.set_invariant_checks(cfg.invariant_checks);
         rate.set_invariant_checks(cfg.invariant_checks);
         mc.set_invariant_checks(cfg.invariant_checks);
         let mut clock_audit = InvariantChecker::new(cfg.invariant_checks);
 
-        let mut ctxs: Vec<Vec<Ctx>> = (0..cfg.corelets)
-            .map(|c| {
-                (0..cfg.contexts)
-                    .map(|x| Ctx {
-                        t: workload.make_ctx(&grid, c, x),
-                        done: false,
-                        stalled: false,
-                        at_barrier: false,
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut threads = Threads {
+            t: Arena2::from_fn(cfg.corelets, cfg.contexts, |c, x| {
+                workload.make_ctx(&grid, c, x)
+            }),
+            done: FlagGrid::new(cfg.corelets, cfg.contexts),
+            stalled: FlagGrid::new(cfg.corelets, cfg.contexts),
+            at_barrier: FlagGrid::new(cfg.corelets, cfg.contexts),
+        };
         let mut rr = vec![0usize; cfg.corelets];
         // Per-corelet bypass store: row → slab-fill-arrived (no-flow-control
         // premature-eviction recovery path). Ordered so the eviction of the
@@ -134,6 +154,8 @@ mod run_impl {
         let mut tel = Telemetry::new(&cfg.telemetry);
         // Rate-matcher trace entries already converted to freq_step events.
         let mut rate_drained = 0usize;
+        // Wheel mode: Some while the compute domain is in deep sleep.
+        let mut sleep: Option<Sleep> = None;
 
         // Quiescence fingerprint: a sum of monotone counters that every
         // observable compute-edge state change bumps (prefetch push,
@@ -157,7 +179,13 @@ mod run_impl {
         };
 
         while halted < total_threads {
-            match clock.pop() {
+            if wheel.kind().is_wheel() {
+                // Post the controller's exact next-event bound: channel
+                // edges strictly before it are provable no-ops the wheel
+                // may mask (DESIGN.md, "Event-wheel scheduler").
+                wheel.post(mc_wake, mc.next_event_at());
+            }
+            match wheel.pop() {
                 Edge::Compute(now) => {
                     clock_audit.on_clock_edge(ClockDomain::Compute, now);
                     last_time = now;
@@ -194,12 +222,12 @@ mod run_impl {
                             &image,
                             row_bytes,
                             slab_bytes,
-                            &mut ctxs,
+                            &mut threads,
                             &mut rr,
                             &mut bypass,
                             &mut pbuf,
                             &mut mc,
-                            &mut clock,
+                            &mut wheel,
                             &mut rate,
                             &mut stats,
                             &mut halted,
@@ -218,8 +246,22 @@ mod run_impl {
                     );
                     let pre_ff_cycle = cycle;
                     if cfg.fast_forward && !any_issued && fingerprint(&stats, &pbuf) == fp_before {
-                        if let Some(event) = mc.next_event_at() {
-                            let skipped = clock.fast_forward(event);
+                        if wheel.kind().is_wheel() {
+                            // Deep sleep: stop scheduling compute edges at
+                            // all. The channel arm replays the skipped
+                            // accounting and wakes us on the first
+                            // compute-visible change (a completed fill, or
+                            // a slot freeing on a full queue).
+                            if mc.next_event_at().is_some() {
+                                sleep = Some(Sleep {
+                                    free_slots: mc.free_slots(),
+                                    anchor_cycle: cycle,
+                                    anchor_now: now,
+                                });
+                                wheel.sleep_compute();
+                            }
+                        } else if let Some(event) = mc.next_event_at() {
+                            let skipped = wheel.fast_forward(event);
                             // Replay the accounting the skipped no-op
                             // edges would have produced: each visits every
                             // corelet's issue slot and stalls it.
@@ -254,72 +296,59 @@ mod run_impl {
                         // exactly — its time is `now + offset·period` and
                         // only the replayed per-cycle slot counters differ
                         // from the current state (rewound linearly).
-                        let period = clock.compute_period();
-                        let slots_per_cycle = cfg.corelets as u64;
-                        while let Some(due) = tel.next_due(cycle) {
-                            let at = now + (due - pre_ff_cycle) * period;
-                            let rewind = (cycle - due) * slots_per_cycle;
-                            let p = pbuf.stats();
-                            let d = mc.stats();
-                            tel.counter(
-                                "core::pbuf",
-                                "occupancy",
-                                due,
-                                at,
-                                pbuf.occupancy() as f64,
-                            );
-                            tel.counter("core::pbuf", "flow_blocks", due, at, p.flow_blocks as f64);
-                            tel.counter(
-                                "core::pbuf",
-                                "demand_stalls",
-                                due,
-                                at,
-                                stats.demand_stalls as f64,
-                            );
-                            tel.counter(
-                                "core::rate",
-                                "frequency_mhz",
-                                due,
-                                at,
-                                mhz_for_period_ps(period),
-                            );
-                            tel.counter(
-                                "core::processor",
-                                "issue_slots",
-                                due,
-                                at,
-                                (stats.issue_slots - rewind) as f64,
-                            );
-                            tel.counter(
-                                "core::processor",
-                                "stall_slots",
-                                due,
-                                at,
-                                (stats.stall_slots - rewind) as f64,
-                            );
-                            tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
-                            tel.counter(
-                                "dram::controller",
-                                "row_misses",
-                                due,
-                                at,
-                                d.row_misses as f64,
-                            );
-                            tel.counter(
-                                "dram::controller",
-                                "queue_depth",
-                                due,
-                                at,
-                                mc.queue_len() as f64,
-                            );
-                        }
+                        emit_epoch_samples(
+                            &mut tel,
+                            &pbuf,
+                            &mc,
+                            &stats,
+                            cycle,
+                            pre_ff_cycle,
+                            now,
+                            wheel.compute_period(),
+                            cfg.corelets as u64,
+                        );
                     }
                 }
                 Edge::Channel(now) => {
+                    // Wheel mode: replay the accounting of compute edges
+                    // slept through *before* this edge acts, so counters
+                    // and telemetry samples see exactly the state the
+                    // polled schedule's replay would have seen.
+                    let skipped = wheel.drain_skipped();
+                    if skipped > 0 {
+                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
+                        let s = sleep.as_ref().expect("skipped edges outside sleep");
+                        cycle += skipped;
+                        stats.ff_skipped_cycles += skipped;
+                        stats.issue_slots += skipped * cfg.corelets as u64;
+                        stats.stall_slots += skipped * cfg.corelets as u64;
+                        idle_streak += skipped;
+                        assert!(
+                            idle_streak <= cfg.max_idle_cycles,
+                            "Millipede deadlock: no issue for {} cycles (pbuf {:?})",
+                            idle_streak,
+                            pbuf.stats()
+                        );
+                        if tel.enabled() {
+                            emit_epoch_samples(
+                                &mut tel,
+                                &pbuf,
+                                &mc,
+                                &stats,
+                                cycle,
+                                s.anchor_cycle,
+                                s.anchor_now,
+                                wheel.compute_period(),
+                                cfg.corelets as u64,
+                            );
+                        }
+                    }
                     clock_audit.on_clock_edge(ClockDomain::Channel, now);
                     last_time = now;
                     mc.tick(now);
-                    for comp in mc.pop_completed(now) {
+                    let completions = mc.pop_completed(now);
+                    let fills = completions.len();
+                    for comp in completions {
                         if !comp.row_hit {
                             // Stamped with the last completed compute cycle:
                             // channel edges have no compute-cycle identity.
@@ -340,6 +369,20 @@ mod run_impl {
                             pbuf.fill_complete(slot);
                         }
                     }
+                    if wheel.is_sleeping() {
+                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
+                        let s = sleep.as_ref().expect("sleeping without sleep state");
+                        // Wake on the first compute-visible change: a fill
+                        // landed, or a slot freed on a queue that was full
+                        // (a blocked fetch or bypass push may now go).
+                        // Waking early is always safe — a real poll of a
+                        // still-quiescent edge is a no-op — so this errs
+                        // conservative.
+                        if fills > 0 || (s.free_slots == 0 && mc.free_slots() > 0) {
+                            wheel.wake_compute();
+                            sleep = None;
+                        }
+                    }
                 }
             }
         }
@@ -348,7 +391,7 @@ mod run_impl {
         stats.flow_blocks = pbuf.stats().flow_blocks;
         stats.premature_evictions = pbuf.stats().premature_evictions;
         stats.rate_match_final_mhz = if cfg.rate_match {
-            RateMatcher::final_mhz(&clock)
+            RateMatcher::final_mhz(wheel.clock())
         } else {
             0.0
         };
@@ -360,9 +403,11 @@ mod run_impl {
         mc.timing_audit().assert_clean("memory controller");
         clock_audit.assert_clean("clock domains");
 
-        let states: Vec<&[u32]> = ctxs
+        let states: Vec<&[u32]> = threads
+            .t
+            .as_slice()
             .iter()
-            .flat_map(|corelet| corelet.iter().map(|c| c.t.local.words()))
+            .map(|t| t.local.words())
             .collect();
         let output = workload.reduce(&states);
         let output_ok = output == workload.reference(&grid);
@@ -373,6 +418,76 @@ mod run_impl {
             output,
             output_ok,
             telemetry: tel,
+        }
+    }
+
+    /// Emits every due epoch sample up to `cycle`, reconstructing times
+    /// from the anchor: sample `due` happened at
+    /// `anchor_now + (due − anchor_cycle)·period` (the compute schedule is
+    /// rigid across any skipped span), and the replayed per-cycle slot
+    /// counters are rewound linearly.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_epoch_samples(
+        tel: &mut Telemetry,
+        pbuf: &RowPrefetchBuffer,
+        mc: &MemoryController,
+        stats: &CoreStats,
+        cycle: u64,
+        anchor_cycle: u64,
+        anchor_now: TimePs,
+        period: TimePs,
+        slots_per_cycle: u64,
+    ) {
+        while let Some(due) = tel.next_due(cycle) {
+            let at = anchor_now + (due - anchor_cycle) * period;
+            let rewind = (cycle - due) * slots_per_cycle;
+            let p = pbuf.stats();
+            let d = mc.stats();
+            tel.counter("core::pbuf", "occupancy", due, at, pbuf.occupancy() as f64);
+            tel.counter("core::pbuf", "flow_blocks", due, at, p.flow_blocks as f64);
+            tel.counter(
+                "core::pbuf",
+                "demand_stalls",
+                due,
+                at,
+                stats.demand_stalls as f64,
+            );
+            tel.counter(
+                "core::rate",
+                "frequency_mhz",
+                due,
+                at,
+                mhz_for_period_ps(period),
+            );
+            tel.counter(
+                "core::processor",
+                "issue_slots",
+                due,
+                at,
+                (stats.issue_slots - rewind) as f64,
+            );
+            tel.counter(
+                "core::processor",
+                "stall_slots",
+                due,
+                at,
+                (stats.stall_slots - rewind) as f64,
+            );
+            tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
+            tel.counter(
+                "dram::controller",
+                "row_misses",
+                due,
+                at,
+                d.row_misses as f64,
+            );
+            tel.counter(
+                "dram::controller",
+                "queue_depth",
+                due,
+                at,
+                mc.queue_len() as f64,
+            );
         }
     }
 
@@ -388,32 +503,37 @@ mod run_impl {
         image: &millipede_mem::InputImage,
         row_bytes: u64,
         slab_bytes: u64,
-        ctxs: &mut [Vec<Ctx>],
+        threads: &mut Threads,
         rr: &mut [usize],
         bypass: &mut [BTreeMap<u64, bool>],
         pbuf: &mut RowPrefetchBuffer,
         mc: &mut MemoryController,
-        clock: &mut DualClock,
+        wheel: &mut EventWheel,
         rate: &mut RateMatcher,
         stats: &mut CoreStats,
         halted: &mut usize,
     ) -> bool {
+        // Whole-corelet early out: every context done or parked at the
+        // barrier means the scan below would be all `continue`s.
+        if threads.done.mask(c) | threads.at_barrier.mask(c) == threads.done.full_mask() {
+            return false;
+        }
         for k in 0..cfg.contexts {
             let x = (rr[c] + k) % cfg.contexts;
-            if ctxs[c][x].done || ctxs[c][x].at_barrier {
+            if threads.done.get(c, x) || threads.at_barrier.get(c, x) {
                 continue;
             }
-            let input_ea =
-                effective_access(&ctxs[c][x].t, program).filter(|ea| ea.space == AddrSpace::Input);
+            let input_ea = effective_access(threads.t.get(c, x), program)
+                .filter(|ea| ea.space == AddrSpace::Input);
             if let Some(ea) = input_ea {
                 let row = ea.addr / row_bytes;
                 match pbuf.lookup(row) {
                     Lookup::Ready { slot } => {
-                        commit(c, x, ctxs, program, image, stats, halted);
+                        commit(c, x, threads, program, image, stats, halted);
                         stats.pbuf_hits += 1;
                         let out = pbuf.consume(slot, c);
                         if out.trigger_blocked {
-                            rate.on_signal(OccupancySignal::Full, cycle, clock);
+                            rate.on_signal(OccupancySignal::Full, cycle, wheel.clock_mut());
                         }
                         rr[c] = (x + 1) % cfg.contexts;
                         return true;
@@ -425,18 +545,18 @@ mod run_impl {
                         if !cfg.flow_control {
                             pbuf.force_allocate_for_demand(row);
                         }
-                        if !ctxs[c][x].stalled {
-                            ctxs[c][x].stalled = true;
+                        if !threads.stalled.get(c, x) {
+                            threads.stalled.set(c, x, true);
                             stats.demand_stalls += 1;
-                            rate.on_signal(OccupancySignal::Empty, cycle, clock);
+                            rate.on_signal(OccupancySignal::Empty, cycle, wheel.clock_mut());
                         }
                         continue;
                     }
                     Lookup::Filling => {
-                        if !ctxs[c][x].stalled {
-                            ctxs[c][x].stalled = true;
+                        if !threads.stalled.get(c, x) {
+                            threads.stalled.set(c, x, true);
                             stats.demand_stalls += 1;
-                            rate.on_signal(OccupancySignal::Empty, cycle, clock);
+                            rate.on_signal(OccupancySignal::Empty, cycle, wheel.clock_mut());
                         }
                         continue;
                     }
@@ -447,7 +567,7 @@ mod run_impl {
                         );
                         match bypass[c].get(&row) {
                             Some(true) => {
-                                commit(c, x, ctxs, program, image, stats, halted);
+                                commit(c, x, threads, program, image, stats, halted);
                                 rr[c] = (x + 1) % cfg.contexts;
                                 return true;
                             }
@@ -473,8 +593,8 @@ mod run_impl {
                                     bypass[c].insert(row, false);
                                     stats.demand_fetches += 1;
                                 }
-                                if !ctxs[c][x].stalled {
-                                    ctxs[c][x].stalled = true;
+                                if !threads.stalled.get(c, x) {
+                                    threads.stalled.set(c, x, true);
                                     stats.demand_stalls += 1;
                                 }
                                 continue;
@@ -483,7 +603,7 @@ mod run_impl {
                     }
                 }
             } else {
-                commit(c, x, ctxs, program, image, stats, halted);
+                commit(c, x, threads, program, image, stats, halted);
                 rr[c] = (x + 1) % cfg.contexts;
                 return true;
             }
@@ -496,15 +616,14 @@ mod run_impl {
     fn commit(
         c: usize,
         x: usize,
-        ctxs: &mut [Vec<Ctx>],
+        threads: &mut Threads,
         program: &millipede_isa::Program,
         image: &millipede_mem::InputImage,
         stats: &mut CoreStats,
         halted: &mut usize,
     ) {
-        let ctx = &mut ctxs[c][x];
-        ctx.stalled = false;
-        let effect = step(&mut ctx.t, program, image)
+        threads.stalled.set(c, x, false);
+        let effect = step(threads.t.get_mut(c, x), program, image)
             .unwrap_or_else(|trap| panic!("kernel trap on corelet {c} ctx {x}: {trap}"));
         stats.instructions += 1;
         stats.issues += 1;
@@ -518,7 +637,7 @@ mod run_impl {
                 sync_check = true;
             }
             StepEffect::Halt => {
-                ctx.done = true;
+                threads.done.set(c, x, true);
                 *halted += 1;
                 // A halting thread stops participating in barriers; waiters
                 // may now be releasable.
@@ -528,20 +647,20 @@ mod run_impl {
         }
         if sync_check {
             if matches!(effect, StepEffect::Barrier) {
-                ctxs[c][x].at_barrier = true;
+                threads.at_barrier.set(c, x, true);
             }
-            release_barrier_if_ready(ctxs);
+            release_barrier_if_ready(threads);
         }
     }
 
     /// Releases every waiting context once all live contexts on the
     /// processor have reached the barrier.
-    fn release_barrier_if_ready(ctxs: &mut [Vec<Ctx>]) {
-        let all_waiting = ctxs.iter().flatten().all(|ctx| ctx.done || ctx.at_barrier);
+    fn release_barrier_if_ready(threads: &mut Threads) {
+        let full = threads.done.full_mask();
+        let all_waiting = (0..threads.done.lanes())
+            .all(|c| threads.done.mask(c) | threads.at_barrier.mask(c) == full);
         if all_waiting {
-            for ctx in ctxs.iter_mut().flatten() {
-                ctx.at_barrier = false;
-            }
+            threads.at_barrier.clear_all();
         }
     }
 }
@@ -677,6 +796,45 @@ mod tests {
                 assert_eq!(fast.dram, slow.dram, "{bench:?}: DRAM stats diverged");
                 assert_eq!(fast.elapsed_ps, slow.elapsed_ps);
                 assert_eq!(fast.output, slow.output);
+            }
+        }
+    }
+
+    #[test]
+    fn event_wheel_is_bit_exact() {
+        use millipede_engine::SchedulerKind;
+        for bench in [Benchmark::Count, Benchmark::NBayes] {
+            let w = small(bench);
+            for base in [
+                MillipedeConfig::default(),
+                MillipedeConfig::no_flow_control(),
+                MillipedeConfig::no_rate_match(),
+            ] {
+                for ff in [false, true] {
+                    let mut c = base.clone();
+                    c.fast_forward = ff;
+                    c.scheduler = SchedulerKind::Poll;
+                    let poll = run(&w, &c);
+                    c.scheduler = SchedulerKind::Wheel;
+                    let wheel = run(&w, &c);
+                    let label = format!("{bench:?} ff={ff}");
+                    // The wheel sleeps through more edges than poll-mode
+                    // fast-forward skips; only the wall-clock-only skip
+                    // counter may differ.
+                    let mut ws = wheel.stats.clone();
+                    let mut ps = poll.stats.clone();
+                    ws.ff_skipped_cycles = 0;
+                    ps.ff_skipped_cycles = 0;
+                    assert_eq!(ws, ps, "{label}: stats diverged");
+                    assert_eq!(wheel.dram, poll.dram, "{label}: DRAM stats diverged");
+                    assert_eq!(wheel.elapsed_ps, poll.elapsed_ps, "{label}");
+                    assert_eq!(wheel.output, poll.output, "{label}");
+                    if !ff {
+                        // Without fast-forward the wheel only masks channel
+                        // edges — it must never skip a compute edge.
+                        assert_eq!(wheel.stats.ff_skipped_cycles, 0, "{label}");
+                    }
+                }
             }
         }
     }

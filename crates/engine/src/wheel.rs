@@ -1,0 +1,390 @@
+//! Calendar-queue / event-wheel scheduler over the dual clock.
+//!
+//! The original main loops tick a model on *every* [`DualClock`] edge, even
+//! when nothing can possibly happen: channel edges where the memory
+//! controller provably issues nothing, and compute edges where every
+//! context is stalled on memory. Idle-cycle fast-forward (DESIGN.md)
+//! already proved those edges are exact no-ops whose accounting can be
+//! replayed by count; the [`EventWheel`] generalizes that proof into the
+//! engine so a model's components *post their next wake time* instead of
+//! being polled.
+//!
+//! Two mechanisms, both individually bit-exact against the polling loop:
+//!
+//! * **Channel-edge masking.** Each pop, the model posts the memory
+//!   controller's exact next-event bound (`MemoryController::next_event_at`).
+//!   Channel-grid edges strictly before the earliest posted wake are
+//!   dropped — by the bound's contract nothing fires on them and they carry
+//!   no accounting. The edge actually delivered is the first grid edge at
+//!   or after the wake, and the compute-first tie-break is preserved: a
+//!   channel edge is delivered only when it is *strictly* earlier than the
+//!   next compute edge.
+//! * **Compute deep sleep.** When the model proves a compute edge is a
+//!   no-op (the same quiescence fingerprint that gates fast-forward), it
+//!   calls [`EventWheel::sleep_compute`]. While asleep, every pop
+//!   fast-forwards to the earliest posted wake and delivers only that
+//!   channel edge; the compute edges jumped over accumulate in a skip
+//!   counter the model drains ([`EventWheel::drain_skipped`]) and replays —
+//!   by count — *before* acting on the delivered edge, exactly as the
+//!   polling fast-forward path replays them. `DualClock::fast_forward`
+//!   keeps `last_compute` on the last skipped edge, so a DFS reschedule
+//!   after waking is identical to the polled schedule.
+//!
+//! In [`SchedulerKind::Poll`] mode the wheel degenerates to
+//! `DualClock::pop` and the behaviour (not just the observables) is the
+//! original loop's.
+//!
+//! The wake set is a flat slab scanned for its minimum rather than a
+//! bucketed calendar ring: a model registers a handful of wake sources (one
+//! per memory controller today), and at that size the ring's lap
+//! bookkeeping costs more than the scan it avoids. The slab *is* the
+//! degenerate calendar queue; the posting contract is what matters.
+
+use crate::clock::{DualClock, Edge, TimePs};
+
+/// Which main-loop scheduler drives a model's [`DualClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Tick every clock edge (the original cycle-by-cycle loop).
+    #[default]
+    Poll,
+    /// Event-wheel: components post wake times; idle channel edges are
+    /// masked and quiescent compute stretches are slept through.
+    Wheel,
+}
+
+impl SchedulerKind {
+    /// Whether this is the event-wheel scheduler.
+    pub fn is_wheel(self) -> bool {
+        self == SchedulerKind::Wheel
+    }
+
+    /// The name used by the `MILLIPEDE_SCHEDULER` env knob.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Poll => "poll",
+            SchedulerKind::Wheel => "wheel",
+        }
+    }
+}
+
+/// Handle for a wake source registered with [`EventWheel::register`].
+#[derive(Debug, Clone, Copy)]
+pub struct WakeId(usize);
+
+/// A dual-clock edge scheduler with posted wake times.
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    clock: DualClock,
+    kind: SchedulerKind,
+    posted: Vec<Option<TimePs>>,
+    sleeping: bool,
+    pending_skipped: u64,
+}
+
+impl EventWheel {
+    /// Wraps a clock in the chosen scheduler.
+    pub fn new(clock: DualClock, kind: SchedulerKind) -> EventWheel {
+        EventWheel {
+            clock,
+            kind,
+            posted: Vec::new(),
+            sleeping: false,
+            pending_skipped: 0,
+        }
+    }
+
+    /// Registers a wake source (initially posting no wake).
+    pub fn register(&mut self) -> WakeId {
+        self.posted.push(None);
+        WakeId(self.posted.len() - 1)
+    }
+
+    /// Posts (or clears) a source's next wake time. `Some(t)` asserts the
+    /// source does nothing on any channel edge strictly before `t`; `None`
+    /// asserts it is idle indefinitely. Past times are fine — they mean
+    /// "every upcoming edge", i.e. no masking.
+    pub fn post(&mut self, id: WakeId, wake: Option<TimePs>) {
+        self.posted[id.0] = wake;
+    }
+
+    /// The earliest posted wake across all sources.
+    pub fn earliest_wake(&self) -> Option<TimePs> {
+        self.posted.iter().flatten().copied().min()
+    }
+
+    /// The scheduler mode this wheel runs in.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Read access to the underlying clock.
+    pub fn clock(&self) -> &DualClock {
+        &self.clock
+    }
+
+    /// Mutable access to the underlying clock (DFS reschedules go through
+    /// here; the wheel re-reads the schedule on every pop).
+    pub fn clock_mut(&mut self) -> &mut DualClock {
+        &mut self.clock
+    }
+
+    /// The current compute period in picoseconds.
+    pub fn compute_period(&self) -> TimePs {
+        self.clock.compute_period()
+    }
+
+    /// Returns and consumes the next edge that can carry work.
+    ///
+    /// Poll mode: every edge, via [`DualClock::pop`]. Wheel mode: compute
+    /// edges fire normally while awake (skipping masked channel edges);
+    /// while asleep only channel edges at posted wakes fire, and the
+    /// compute edges jumped over accumulate for
+    /// [`EventWheel::drain_skipped`].
+    pub fn pop(&mut self) -> Edge {
+        if self.kind == SchedulerKind::Poll {
+            return self.clock.pop();
+        }
+        if self.sleeping {
+            // audit:allow(unwrap-in-hot-path): sleep_compute() requires a posted wake; a miss is a scheduler bug, fail loudly
+            let wake = self.earliest_wake().expect("asleep with no posted wake");
+            self.pending_skipped += self.clock.fast_forward(wake);
+            // Sleeping asserts every compute edge up to the wake is a
+            // no-op; `fast_forward` consumed them all, so the next edge is
+            // the target channel edge.
+            let edge = self.clock.pop();
+            debug_assert!(matches!(edge, Edge::Channel(_)));
+            edge
+        } else {
+            let fire_channel_at = self.earliest_wake().and_then(|wake| {
+                let ch = self.clock.channel_edge_for(wake);
+                // Strict comparison: a tied compute edge wins, exactly as
+                // in `DualClock::pop`.
+                (ch < self.clock.next_compute_at()).then_some(ch)
+            });
+            match fire_channel_at {
+                Some(ch) => {
+                    self.clock.take_channel_edge(ch);
+                    Edge::Channel(ch)
+                }
+                None => {
+                    let t = self.clock.pop_compute();
+                    // The masked grid edges before this compute edge are
+                    // now definitively skipped: drop them so a wake posted
+                    // later can never resurrect a channel edge in the
+                    // past. (A grid edge tied with `t` still fires next.)
+                    self.clock.drop_channel_edges_before(t);
+                    Edge::Compute(t)
+                }
+            }
+        }
+    }
+
+    /// Enters compute deep sleep. The caller asserts every compute edge
+    /// until the next compute-visible channel event is an exact no-op
+    /// (quiescence fingerprint unchanged), and must replay skipped-edge
+    /// accounting from [`EventWheel::drain_skipped`] before acting on each
+    /// delivered channel edge.
+    pub fn sleep_compute(&mut self) {
+        debug_assert!(self.kind.is_wheel());
+        debug_assert!(
+            self.earliest_wake().is_some(),
+            "sleeping with no posted wake would never wake"
+        );
+        self.sleeping = true;
+    }
+
+    /// Leaves compute deep sleep; the next pop schedules normally.
+    pub fn wake_compute(&mut self) {
+        self.sleeping = false;
+    }
+
+    /// Whether the compute domain is in deep sleep.
+    pub fn is_sleeping(&self) -> bool {
+        self.sleeping
+    }
+
+    /// Takes the count of compute edges skipped while sleeping since the
+    /// last drain. Models call this at the top of the channel arm and
+    /// replay the per-cycle accounting before the edge's own work.
+    pub fn drain_skipped(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_skipped)
+    }
+
+    /// Poll-mode fast-forward passthrough (the original idle-cycle skip).
+    /// In wheel mode use [`EventWheel::sleep_compute`] instead.
+    pub fn fast_forward(&mut self, event: TimePs) -> u64 {
+        debug_assert!(self.kind == SchedulerKind::Poll);
+        self.clock.fast_forward(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel(compute: TimePs, channel: TimePs) -> EventWheel {
+        EventWheel::new(DualClock::new(compute, channel), SchedulerKind::Wheel)
+    }
+
+    #[test]
+    fn poll_mode_is_the_plain_clock() {
+        let mut w = EventWheel::new(DualClock::new(1000, 400), SchedulerKind::Poll);
+        let mut c = DualClock::new(1000, 400);
+        for _ in 0..16 {
+            assert_eq!(w.pop(), c.pop());
+        }
+    }
+
+    #[test]
+    fn no_wake_means_compute_only() {
+        let mut w = wheel(1000, 400);
+        assert_eq!(w.pop(), Edge::Compute(1000));
+        assert_eq!(w.pop(), Edge::Compute(2000));
+        // Masked grid edges are gone for good: posting an immediate wake
+        // delivers the first grid edge at or after the last compute edge
+        // (here the tied one at 2000), never a stale early one.
+        let id = w.register();
+        w.post(id, Some(0));
+        assert_eq!(w.pop(), Edge::Channel(2000));
+        assert_eq!(w.pop(), Edge::Channel(2400));
+    }
+
+    #[test]
+    fn past_wake_disables_masking() {
+        // A backed-up controller (next event in the past) must see every
+        // upcoming channel edge, exactly like the polling loop.
+        let mut w = wheel(1000, 400);
+        let id = w.register();
+        w.post(id, Some(0));
+        assert_eq!(w.pop(), Edge::Channel(400));
+        assert_eq!(w.pop(), Edge::Channel(800));
+        assert_eq!(w.pop(), Edge::Compute(1000));
+        assert_eq!(w.pop(), Edge::Channel(1200));
+    }
+
+    #[test]
+    fn future_wake_masks_intermediate_channel_edges() {
+        let mut w = wheel(1000, 400);
+        let id = w.register();
+        w.post(id, Some(2500));
+        // Channel edges 400..2400 are masked; compute edges fire normally,
+        // then the first grid edge >= 2500.
+        assert_eq!(w.pop(), Edge::Compute(1000));
+        assert_eq!(w.pop(), Edge::Compute(2000));
+        assert_eq!(w.pop(), Edge::Channel(2800));
+        assert_eq!(w.pop(), Edge::Compute(3000));
+    }
+
+    #[test]
+    fn tied_compute_edge_wins_over_woken_channel_edge() {
+        // Wake lands on a grid edge that ties a compute edge: compute
+        // first, exactly like DualClock::pop.
+        let mut w = wheel(1000, 400);
+        let id = w.register();
+        w.post(id, Some(2000));
+        assert_eq!(w.pop(), Edge::Compute(1000));
+        assert_eq!(w.pop(), Edge::Compute(2000));
+        assert_eq!(w.pop(), Edge::Channel(2000));
+    }
+
+    #[test]
+    fn earlier_wake_posted_after_masking_still_lands_on_the_grid() {
+        // Mask far ahead, then a compute edge posts a much earlier wake:
+        // the grid must not have been consumed by the masking decision.
+        let mut w = wheel(1000, 400);
+        let id = w.register();
+        w.post(id, Some(10_000));
+        assert_eq!(w.pop(), Edge::Compute(1000));
+        w.post(id, Some(1100)); // e.g. a new request just queued
+        assert_eq!(w.pop(), Edge::Channel(1200));
+        assert_eq!(w.pop(), Edge::Channel(1600));
+    }
+
+    #[test]
+    fn earliest_of_several_sources_wins() {
+        let mut w = wheel(1000, 100);
+        let a = w.register();
+        let b = w.register();
+        w.post(a, Some(750));
+        w.post(b, Some(350));
+        assert_eq!(w.pop(), Edge::Channel(400));
+        w.post(b, None);
+        assert_eq!(w.pop(), Edge::Channel(800));
+    }
+
+    #[test]
+    fn sleep_skips_compute_edges_and_counts_them() {
+        let mut w = wheel(1000, 400);
+        let id = w.register();
+        w.post(id, Some(4100));
+        w.sleep_compute();
+        // Compute edges 1000..=4000 are jumped; first grid edge >= 4100.
+        assert_eq!(w.pop(), Edge::Channel(4400));
+        assert_eq!(w.drain_skipped(), 4);
+        assert_eq!(w.drain_skipped(), 0, "drain is destructive");
+        // Still asleep: the next wake fires the next edge, counting the
+        // compute edges in between.
+        w.post(id, Some(6000));
+        assert_eq!(w.pop(), Edge::Channel(6000));
+        assert_eq!(w.drain_skipped(), 2); // computes at 5000 and 6000 (tied)
+        w.wake_compute();
+        w.post(id, None); // controller idle again
+        assert_eq!(w.pop(), Edge::Compute(7000));
+    }
+
+    #[test]
+    fn sleep_wake_preserves_dfs_reschedule_anchor() {
+        // After sleeping past edges, set_compute_period must reschedule
+        // from the last *skipped* edge — identical to the polled clock.
+        let mut w = wheel(1000, 400);
+        let mut reference = DualClock::new(1000, 400);
+        let id = w.register();
+        w.post(id, Some(3650));
+        w.sleep_compute();
+        assert_eq!(w.pop(), Edge::Channel(4000));
+        assert_eq!(w.drain_skipped(), 4);
+        w.wake_compute();
+        // Reference: pop everything up to that channel edge.
+        loop {
+            if let Edge::Channel(t) = reference.pop() {
+                if t >= 3650 {
+                    break;
+                }
+            }
+        }
+        w.clock_mut().set_compute_period(700);
+        reference.set_compute_period(700);
+        w.post(id, Some(0)); // no masking: compare full edge streams
+        for _ in 0..8 {
+            assert_eq!(w.pop(), reference.pop());
+        }
+    }
+
+    #[test]
+    fn masked_wheel_delivers_a_subsequence_with_identical_times() {
+        // Property: with an arbitrary (here, scripted) wake schedule, the
+        // wheel's delivered edges are a subsequence of the polled stream,
+        // and compute edges are identical whenever awake.
+        let mut w = wheel(1429, 833);
+        let mut c = DualClock::new(1429, 833);
+        let id = w.register();
+        let wakes = [5000, 5000, 9000, 2000, 2000, 12_000, 1, 1, 20_000];
+        let mut wheel_edges = Vec::new();
+        for &wake in &wakes {
+            w.post(id, Some(wake));
+            wheel_edges.push(w.pop());
+        }
+        let mut poll_edges = Vec::new();
+        for _ in 0..64 {
+            poll_edges.push(c.pop());
+        }
+        let mut it = poll_edges.iter();
+        for e in &wheel_edges {
+            assert!(
+                it.any(|p| p == e),
+                "{e:?} missing from (or out of order in) the polled stream"
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! SM configuration.
 
 use millipede_dram::{DramGeometry, DramTiming};
+use millipede_engine::SchedulerKind;
 use millipede_telemetry::TelemetryConfig;
 
 /// Configuration of one SM (Table III defaults).
@@ -49,6 +50,10 @@ pub struct GpgpuConfig {
     pub fast_forward: bool,
     /// Cycle-domain telemetry (off by default; purely observational).
     pub telemetry: TelemetryConfig,
+    /// Main-loop scheduler (poll every edge, or the event wheel); results
+    /// are bit-identical either way (see DESIGN.md, "Event-wheel
+    /// scheduler").
+    pub scheduler: SchedulerKind,
 }
 
 impl GpgpuConfig {
@@ -74,6 +79,7 @@ impl GpgpuConfig {
             max_idle_cycles: 2_000_000,
             fast_forward: true,
             telemetry: TelemetryConfig::from_env(),
+            scheduler: SchedulerKind::default(),
         }
     }
 

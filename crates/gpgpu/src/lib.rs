@@ -33,7 +33,7 @@ use millipede_core::NodeResult;
 use millipede_dram::{MemoryController, Request, TimePs};
 use millipede_engine::step::effective_access;
 use millipede_engine::{
-    period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
+    period_ps_for_mhz, step, CoreStats, DualClock, Edge, EventWheel, StepEffect, ThreadCtx,
 };
 use millipede_isa::{AddrSpace, Instr, ReconvergenceMap};
 use millipede_mapreduce::ThreadGrid;
@@ -64,6 +64,27 @@ struct Sm {
     pf_end: u64,
     pf_degree: u64,
     demand_block: u64,
+}
+
+/// Wheel-mode deep-sleep record: everything needed to replay the skipped
+/// edges' accounting by count and to decide when to wake (see DESIGN.md,
+/// "Event-wheel scheduler").
+struct Sleep {
+    /// DRAM queue slots free at sleep entry; if zero, a freed slot can
+    /// unblock a prefetch or a demand push, so it must wake the SM.
+    free_slots: usize,
+    /// Per-retry-edge recount rates at sleep entry (stalled warps re-probe
+    /// their blocks and re-count their stalls every cycle); constant while
+    /// asleep because SM state is frozen until a fill arrives — and a fill
+    /// wakes us.
+    stall_delta: u64,
+    hit_delta: u64,
+    miss_delta: u64,
+    /// Cycle count and wall time at sleep entry; telemetry samples due
+    /// inside the slept region are reconstructed from these (the compute
+    /// period cannot change while no warp issues).
+    anchor_cycle: u64,
+    anchor_now: TimePs,
 }
 
 /// Runs `workload` to completion on one SM.
@@ -139,10 +160,15 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     };
 
     let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
-    let mut clock = DualClock::new(
-        period_ps_for_mhz(cfg.compute_mhz),
-        cfg.timing.channel_period_ps,
+    let mut wheel = EventWheel::new(
+        DualClock::new(
+            period_ps_for_mhz(cfg.compute_mhz),
+            cfg.timing.channel_period_ps,
+        ),
+        cfg.scheduler,
     );
+    let mc_wake = wheel.register();
+    let mut sleep: Option<Sleep> = None;
 
     let mut stats = CoreStats::default();
     let mut cycle: u64 = 0;
@@ -179,7 +205,10 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     };
 
     while live_warps > 0 {
-        match clock.pop() {
+        if wheel.kind().is_wheel() {
+            wheel.post(mc_wake, mc.next_event_at());
+        }
+        match wheel.pop() {
             Edge::Compute(now) => {
                 last_time = now;
                 cycle += 1;
@@ -232,8 +261,23 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                     && sm.busy_until.iter().all(|&b| b <= cycle)
                     && fingerprint(&stats, &sm, pbuf.as_ref()) == fp_before
                 {
-                    if let Some(event) = mc.next_event_at() {
-                        let skipped = clock.fast_forward(event);
+                    if wheel.kind().is_wheel() {
+                        // Wheel mode: stop ticking entirely until a channel
+                        // edge produces a wake condition; the channel arm
+                        // replays the skipped edges' accounting by count.
+                        if mc.next_event_at().is_some() {
+                            sleep = Some(Sleep {
+                                free_slots: mc.free_slots(),
+                                stall_delta,
+                                hit_delta,
+                                miss_delta,
+                                anchor_cycle: cycle,
+                                anchor_now: now,
+                            });
+                            wheel.sleep_compute();
+                        }
+                    } else if let Some(event) = mc.next_event_at() {
+                        let skipped = wheel.fast_forward(event);
                         stats.demand_stalls += stall_delta * skipped;
                         ff_l1_hits += hit_delta * skipped;
                         ff_l1_misses += miss_delta * skipped;
@@ -252,78 +296,65 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                 // inside a fast-forwarded region are reconstructed exactly
                 // by rewinding the replayed per-cycle counters linearly.
                 if tel.enabled() {
-                    let period = clock.compute_period();
-                    let slots_per_cycle = cfg.clusters() as u64;
-                    while let Some(due) = tel.next_due(cycle) {
-                        let at = now + (due - pre_ff_cycle) * period;
-                        let rewind = cycle - due;
-                        let d = mc.stats();
-                        tel.counter(
-                            "gpgpu::sm",
-                            "l1_hits",
-                            due,
-                            at,
-                            (sm.l1.stats().hits + ff_l1_hits - hit_delta * rewind) as f64,
-                        );
-                        tel.counter(
-                            "gpgpu::sm",
-                            "l1_misses",
-                            due,
-                            at,
-                            (sm.l1.stats().misses + ff_l1_misses - miss_delta * rewind) as f64,
-                        );
-                        tel.counter(
-                            "gpgpu::sm",
-                            "demand_stalls",
-                            due,
-                            at,
-                            (stats.demand_stalls - stall_delta * rewind) as f64,
-                        );
-                        tel.counter(
-                            "gpgpu::sm",
-                            "issue_slots",
-                            due,
-                            at,
-                            (stats.issue_slots - rewind * slots_per_cycle) as f64,
-                        );
-                        tel.counter(
-                            "gpgpu::sm",
-                            "stall_slots",
-                            due,
-                            at,
-                            (stats.stall_slots - rewind * slots_per_cycle) as f64,
-                        );
-                        if let Some(pbuf) = pbuf.as_ref() {
-                            tel.counter(
-                                "gpgpu::pbuf",
-                                "occupancy",
-                                due,
-                                at,
-                                pbuf.occupancy() as f64,
-                            );
-                        }
-                        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
-                        tel.counter(
-                            "dram::controller",
-                            "row_misses",
-                            due,
-                            at,
-                            d.row_misses as f64,
-                        );
-                        tel.counter(
-                            "dram::controller",
-                            "queue_depth",
-                            due,
-                            at,
-                            mc.queue_len() as f64,
-                        );
-                    }
+                    emit_epoch_samples(
+                        &mut tel,
+                        &sm,
+                        pbuf.as_ref(),
+                        &mc,
+                        &stats,
+                        (ff_l1_hits, ff_l1_misses),
+                        (stall_delta, hit_delta, miss_delta),
+                        cycle,
+                        pre_ff_cycle,
+                        now,
+                        wheel.compute_period(),
+                        cfg.clusters() as u64,
+                    );
                 }
             }
             Edge::Channel(now) => {
+                // Replay the accounting for compute edges the wheel slept
+                // through (poll mode never sleeps, so this drains zero).
+                let skipped = wheel.drain_skipped();
+                if skipped > 0 {
+                    let s = sleep
+                        .as_ref()
+                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
+                        .expect("skipped edges without a sleep record");
+                    cycle += skipped;
+                    stats.ff_skipped_cycles += skipped;
+                    stats.demand_stalls += s.stall_delta * skipped;
+                    ff_l1_hits += s.hit_delta * skipped;
+                    ff_l1_misses += s.miss_delta * skipped;
+                    stats.issue_slots += skipped * cfg.clusters() as u64;
+                    stats.stall_slots += skipped * cfg.clusters() as u64;
+                    idle_streak += skipped;
+                    assert!(
+                        idle_streak <= cfg.max_idle_cycles,
+                        "GPGPU deadlock: no issue for {idle_streak} cycles"
+                    );
+                    if tel.enabled() {
+                        emit_epoch_samples(
+                            &mut tel,
+                            &sm,
+                            pbuf.as_ref(),
+                            &mc,
+                            &stats,
+                            (ff_l1_hits, ff_l1_misses),
+                            (s.stall_delta, s.hit_delta, s.miss_delta),
+                            cycle,
+                            s.anchor_cycle,
+                            s.anchor_now,
+                            wheel.compute_period(),
+                            cfg.clusters() as u64,
+                        );
+                    }
+                }
                 last_time = now;
                 mc.tick(now);
-                for comp in mc.pop_completed(now) {
+                let completions = mc.pop_completed(now);
+                let fills = completions.len();
+                for comp in completions {
                     if !comp.row_hit {
                         tel.event(
                             "dram::controller",
@@ -344,6 +375,19 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                             // audit:allow(unwrap-in-hot-path): prefetch tags are only issued when a pbuf exists
                             .expect("row fill without pbuf")
                             .fill_complete(slot);
+                    }
+                }
+                if wheel.is_sleeping() {
+                    // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
+                    let s = sleep.as_ref().expect("asleep without a sleep record");
+                    // Wake on any fill (it unstalls a warp, frees an MSHR,
+                    // or readies a pbuf row) or when a full DRAM queue
+                    // gained room (it can unblock a prefetch or demand
+                    // push). Waking early is always bit-exact: the next
+                    // compute edge just proves quiescence again.
+                    if fills > 0 || (s.free_slots == 0 && mc.free_slots() > 0) {
+                        wheel.wake_compute();
+                        sleep = None;
                     }
                 }
             }
@@ -375,6 +419,88 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
         output,
         output_ok,
         telemetry: tel,
+    }
+}
+
+/// Emits every telemetry sample due up to `cycle`, reconstructing sample
+/// timestamps and per-cycle counters from the given anchor (the current
+/// edge in poll mode, the sleep entry in wheel mode). `ff` is the
+/// `(ff_l1_hits, ff_l1_misses)` accumulators and `deltas` the per-edge
+/// `(stall, hit, miss)` recount rates to rewind by.
+#[allow(clippy::too_many_arguments)]
+fn emit_epoch_samples(
+    tel: &mut Telemetry,
+    sm: &Sm,
+    pbuf: Option<&RowPrefetchBuffer>,
+    mc: &MemoryController,
+    stats: &CoreStats,
+    ff: (u64, u64),
+    deltas: (u64, u64, u64),
+    cycle: u64,
+    anchor_cycle: u64,
+    anchor_now: TimePs,
+    period: TimePs,
+    slots_per_cycle: u64,
+) {
+    let (ff_l1_hits, ff_l1_misses) = ff;
+    let (stall_delta, hit_delta, miss_delta) = deltas;
+    while let Some(due) = tel.next_due(cycle) {
+        let at = anchor_now + (due - anchor_cycle) * period;
+        let rewind = cycle - due;
+        let d = mc.stats();
+        tel.counter(
+            "gpgpu::sm",
+            "l1_hits",
+            due,
+            at,
+            (sm.l1.stats().hits + ff_l1_hits - hit_delta * rewind) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "l1_misses",
+            due,
+            at,
+            (sm.l1.stats().misses + ff_l1_misses - miss_delta * rewind) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "demand_stalls",
+            due,
+            at,
+            (stats.demand_stalls - stall_delta * rewind) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "issue_slots",
+            due,
+            at,
+            (stats.issue_slots - rewind * slots_per_cycle) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "stall_slots",
+            due,
+            at,
+            (stats.stall_slots - rewind * slots_per_cycle) as f64,
+        );
+        if let Some(pbuf) = pbuf {
+            tel.counter("gpgpu::pbuf", "occupancy", due, at, pbuf.occupancy() as f64);
+        }
+        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
+        tel.counter(
+            "dram::controller",
+            "row_misses",
+            due,
+            at,
+            d.row_misses as f64,
+        );
+        tel.counter(
+            "dram::controller",
+            "queue_depth",
+            due,
+            at,
+            mc.queue_len() as f64,
+        );
     }
 }
 
@@ -841,6 +967,43 @@ mod tests {
             assert_eq!(fast.dram, slow.dram, "{name}: DRAM stats diverged");
             assert_eq!(fast.elapsed_ps, slow.elapsed_ps);
             assert_eq!(fast.output, slow.output);
+        }
+    }
+
+    #[test]
+    fn event_wheel_is_bit_exact() {
+        use millipede_engine::SchedulerKind;
+        for (name, base) in [
+            ("gpgpu", GpgpuConfig::gpgpu()),
+            ("vws", GpgpuConfig::vws()),
+            ("vws_row", GpgpuConfig::vws_row()),
+        ] {
+            for ff in [false, true] {
+                let w = small(Benchmark::Variance);
+                let mk = |scheduler| GpgpuConfig {
+                    fast_forward: ff,
+                    scheduler,
+                    ..base.clone()
+                };
+                let poll = run(&w, &mk(SchedulerKind::Poll));
+                let wheel = run(&w, &mk(SchedulerKind::Wheel));
+                // The wheel sleeps through edges poll merely polls between
+                // hops, so the skip counter is the one legitimate
+                // difference; everything else must be bit-identical.
+                let mut ps = poll.stats.clone();
+                let mut ws = wheel.stats.clone();
+                ps.ff_skipped_cycles = 0;
+                ws.ff_skipped_cycles = 0;
+                assert_eq!(ws, ps, "{name} ff={ff}: stats diverged");
+                assert_eq!(wheel.dram, poll.dram, "{name} ff={ff}: DRAM diverged");
+                assert_eq!(wheel.elapsed_ps, poll.elapsed_ps, "{name} ff={ff}");
+                assert_eq!(wheel.output, poll.output, "{name} ff={ff}");
+                if !ff {
+                    // Without fast-forward the wheel only masks channel
+                    // edges; it must not skip any compute edges.
+                    assert_eq!(wheel.stats.ff_skipped_cycles, 0, "{name}");
+                }
+            }
         }
     }
 

@@ -1,7 +1,13 @@
-//! Simulation configuration.
+//! Simulation configuration and the `MILLIPEDE_*` environment knobs.
+//!
+//! Boolean knobs all parse through [`env_flag`] with one rule: unset means
+//! "use the default", and an empty string or `0` means off — so
+//! `MILLIPEDE_FASTFORWARD= cmd` and `MILLIPEDE_FASTFORWARD=0 cmd` agree
+//! instead of an empty value silently counting as "on".
 
 use millipede_dram::{DramGeometry, DramTiming};
 use millipede_energy::EnergyParams;
+use millipede_engine::SchedulerKind;
 use millipede_telemetry::TelemetryConfig;
 
 /// Parameters of one simulated comparison point.
@@ -33,13 +39,19 @@ pub struct SimConfig {
     pub energy: EnergyParams,
     /// Idle-cycle fast-forward in every event-driven timing model
     /// (bit-exact; see DESIGN.md). Defaults from `MILLIPEDE_FASTFORWARD`
-    /// (unset or anything but `0` → on), so CI can difference the two
+    /// (unset → on, empty or `0` → off), so CI can difference the two
     /// schedules without code changes.
     pub fast_forward: bool,
     /// Cycle-domain telemetry for every model (off by default; defaults
-    /// from `MILLIPEDE_TELEMETRY`, unset or `0` → off). Observational
-    /// only: determinism digests are bit-identical on or off.
+    /// from `MILLIPEDE_TELEMETRY`, unset, empty, or `0` → off).
+    /// Observational only: determinism digests are bit-identical on or
+    /// off.
     pub telemetry: TelemetryConfig,
+    /// Main-loop scheduler for every event-driven timing model (defaults
+    /// from `MILLIPEDE_SCHEDULER`: `poll` or `wheel`, unset → poll).
+    /// Results are bit-identical either way (see DESIGN.md, "Event-wheel
+    /// scheduler").
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -55,14 +67,45 @@ impl Default for SimConfig {
             energy: EnergyParams::default(),
             fast_forward: fast_forward_from_env(),
             telemetry: TelemetryConfig::from_env(),
+            scheduler: scheduler_from_env(),
         }
     }
 }
 
-/// Reads the `MILLIPEDE_FASTFORWARD` environment switch: unset or any
-/// value other than `0` enables fast-forward.
+/// Reads one boolean `MILLIPEDE_*` environment knob.
+///
+/// The single rule every boolean knob follows: unset → `None` (the caller
+/// supplies its default), empty or `0` → `Some(false)`, anything else →
+/// `Some(true)`.
+pub fn env_flag(name: &str) -> Option<bool> {
+    std::env::var(name).ok().map(|v| !v.is_empty() && v != "0")
+}
+
+/// Reads the `MILLIPEDE_FASTFORWARD` environment switch: unset defaults to
+/// on; empty or `0` disables fast-forward; anything else enables it.
 pub fn fast_forward_from_env() -> bool {
-    std::env::var("MILLIPEDE_FASTFORWARD").map_or(true, |v| v != "0")
+    env_flag("MILLIPEDE_FASTFORWARD").unwrap_or(true)
+}
+
+/// Reads the `MILLIPEDE_SCHEDULER` environment switch: `poll` (the
+/// default) or `wheel`. Unset or empty selects poll; an unrecognized value
+/// warns on stderr and falls back to poll rather than silently changing
+/// the schedule.
+pub fn scheduler_from_env() -> SchedulerKind {
+    match std::env::var("MILLIPEDE_SCHEDULER") {
+        Err(_) => SchedulerKind::Poll,
+        Ok(v) => match v.as_str() {
+            "" | "poll" => SchedulerKind::Poll,
+            "wheel" => SchedulerKind::Wheel,
+            other => {
+                eprintln!(
+                    "warning: MILLIPEDE_SCHEDULER={other:?} is not a scheduler \
+                     (expected \"poll\" or \"wheel\"); using poll"
+                );
+                SchedulerKind::Poll
+            }
+        },
+    }
 }
 
 impl SimConfig {

@@ -77,10 +77,11 @@ pub fn run_one(arch: Arch, bench: Benchmark, cfg: &SimConfig) -> RunResult {
 }
 
 /// Whether sweeps emit a per-point progress line to stderr: set
-/// `MILLIPEDE_SWEEP_PROGRESS` to anything but `0`. Off by default so
-/// harness output stays quiet.
+/// `MILLIPEDE_SWEEP_PROGRESS` to anything but empty or `0`
+/// ([`crate::config::env_flag`] semantics). Off by default so harness
+/// output stays quiet.
 pub fn sweep_progress_from_env() -> bool {
-    std::env::var("MILLIPEDE_SWEEP_PROGRESS").is_ok_and(|v| v != "0")
+    crate::config::env_flag("MILLIPEDE_SWEEP_PROGRESS").unwrap_or(false)
 }
 
 /// Emits one whole, pre-formatted progress line for a finished point.
@@ -104,14 +105,23 @@ fn progress_line(idx: usize, total: usize, r: &RunResult) {
 }
 
 /// Sweep worker count: `MILLIPEDE_SWEEP_THREADS` if set (minimum 1),
-/// otherwise the host's available parallelism.
+/// otherwise the host's available parallelism. A value that does not parse
+/// as a thread count (say, `O8` for `08`) warns on stderr and runs the
+/// serial baseline — not the host's parallelism, which would silently hide
+/// the typo; an empty value counts as unset.
 pub fn sweep_threads() -> usize {
-    match std::env::var("MILLIPEDE_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    match std::env::var("MILLIPEDE_SWEEP_THREADS") {
+        Ok(v) if !v.is_empty() => match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!(
+                    "warning: MILLIPEDE_SWEEP_THREADS={v:?} is not a thread count; \
+                     running the sweep serially"
+                );
+                1
+            }
+        },
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     }
 }
 

@@ -27,7 +27,8 @@ use millipede_dram::{DramGeometry, DramTiming};
 use millipede_dram::{MemoryController, Request, TimePs};
 use millipede_engine::step::effective_access;
 use millipede_engine::{
-    period_ps_for_mhz, step, CoreStats, DualClock, Edge, StepEffect, ThreadCtx,
+    period_ps_for_mhz, step, Arena2, CoreStats, DualClock, Edge, EventWheel, FlagGrid,
+    SchedulerKind, StepEffect, ThreadCtx,
 };
 use millipede_isa::AddrSpace;
 use millipede_mapreduce::ThreadGrid;
@@ -70,6 +71,10 @@ pub struct SsmcConfig {
     pub fast_forward: bool,
     /// Cycle-domain telemetry (off by default; purely observational).
     pub telemetry: TelemetryConfig,
+    /// Main-loop scheduler (poll every edge, or the event wheel); results
+    /// are bit-identical either way (see DESIGN.md, "Event-wheel
+    /// scheduler").
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SsmcConfig {
@@ -89,6 +94,7 @@ impl Default for SsmcConfig {
             max_idle_cycles: 2_000_000,
             fast_forward: true,
             telemetry: TelemetryConfig::from_env(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -118,15 +124,39 @@ impl SlabPrefetcher {
 }
 
 struct Core {
-    ctxs: Vec<ThreadCtx>,
-    done: Vec<bool>,
-    stalled: Vec<bool>,
     rr: usize,
     l1: Cache,
     mshr: Mshr,
     pf: SlabPrefetcher,
     /// Highest row any of this core's contexts has demanded.
     demand_row: u64,
+}
+
+/// Per-context hot state, struct-of-arrays (see `millipede_engine::arena`):
+/// the contexts live core-major in one arena and the done/stalled booleans
+/// are one bit mask per core.
+struct Threads {
+    t: Arena2<ThreadCtx>,
+    done: FlagGrid,
+    stalled: FlagGrid,
+}
+
+/// Wheel-mode deep-sleep record: everything needed to replay the skipped
+/// edges' accounting by count and to decide when to wake (see DESIGN.md,
+/// "Event-wheel scheduler").
+struct Sleep {
+    /// DRAM queue slots free at sleep entry; if zero, a freed slot can
+    /// unblock a prefetch or a demand push, so it must wake the cores.
+    free_slots: usize,
+    /// L1 misses one quiescent edge re-counts (stalled contexts re-probe
+    /// their missing block every cycle); constant while asleep because core
+    /// state is frozen until a fill arrives — and a fill wakes us.
+    miss_delta: u64,
+    /// Cycle count and wall time at sleep entry; telemetry samples due
+    /// inside the slept region are reconstructed from these (the compute
+    /// period cannot change while no instruction issues).
+    anchor_cycle: u64,
+    anchor_now: TimePs,
 }
 
 /// Runs `workload` to completion on one SSMC processor.
@@ -170,12 +200,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         .unwrap_or((input_capacity / cfg.l1_block).saturating_sub(4).max(2));
 
     let mut cores: Vec<Core> = (0..cfg.cores)
-        .map(|c| Core {
-            ctxs: (0..cfg.contexts)
-                .map(|x| workload.make_ctx(&grid, c, x))
-                .collect(),
-            done: vec![false; cfg.contexts],
-            stalled: vec![false; cfg.contexts],
+        .map(|_| Core {
             rr: 0,
             l1: Cache::new(input_capacity, cfg.l1_assoc, cfg.l1_block),
             mshr: Mshr::new(cfg.mshrs),
@@ -187,12 +212,24 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
             demand_row: 0,
         })
         .collect();
+    let mut threads = Threads {
+        t: Arena2::from_fn(cfg.cores, cfg.contexts, |c, x| {
+            workload.make_ctx(&grid, c, x)
+        }),
+        done: FlagGrid::new(cfg.cores, cfg.contexts),
+        stalled: FlagGrid::new(cfg.cores, cfg.contexts),
+    };
 
     let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
-    let mut clock = DualClock::new(
-        period_ps_for_mhz(cfg.compute_mhz),
-        cfg.timing.channel_period_ps,
+    let mut wheel = EventWheel::new(
+        DualClock::new(
+            period_ps_for_mhz(cfg.compute_mhz),
+            cfg.timing.channel_period_ps,
+        ),
+        cfg.scheduler,
     );
+    let mc_wake = wheel.register();
+    let mut sleep: Option<Sleep> = None;
 
     let mut stats = CoreStats::default();
     let total_threads = cfg.cores * cfg.contexts;
@@ -221,7 +258,10 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
 
     // Completion tags: core index (slab fills are per-core).
     while halted < total_threads {
-        match clock.pop() {
+        if wheel.kind().is_wheel() {
+            wheel.post(mc_wake, mc.next_event_at());
+        }
+        match wheel.pop() {
             Edge::Compute(now) => {
                 last_time = now;
                 cycle += 1;
@@ -238,6 +278,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                         &image,
                         row_bytes,
                         slab_bytes,
+                        &mut threads,
                         &mut cores,
                         &mut mc,
                         &mut stats,
@@ -255,8 +296,21 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                 );
                 let pre_ff_cycle = cycle;
                 if cfg.fast_forward && !any_issued && fingerprint(&stats, &cores) == fp_before {
-                    if let Some(event) = mc.next_event_at() {
-                        let skipped = clock.fast_forward(event);
+                    if wheel.kind().is_wheel() {
+                        // Wheel mode: stop ticking entirely until a channel
+                        // edge produces a wake condition; the channel arm
+                        // replays the skipped edges' accounting by count.
+                        if mc.next_event_at().is_some() {
+                            sleep = Some(Sleep {
+                                free_slots: mc.free_slots(),
+                                miss_delta: l1_misses(&cores) - misses_before,
+                                anchor_cycle: cycle,
+                                anchor_now: now,
+                            });
+                            wheel.sleep_compute();
+                        }
+                    } else if let Some(event) = mc.next_event_at() {
+                        let skipped = wheel.fast_forward(event);
                         ff_l1_misses += (l1_misses(&cores) - misses_before) * skipped;
                         cycle += skipped;
                         stats.ff_skipped_cycles += skipped;
@@ -275,60 +329,62 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                 // per-cycle counters (slots, L1 miss recounting) are rewound
                 // linearly to the boundary.
                 if tel.enabled() {
-                    let period = clock.compute_period();
                     let miss_delta = l1_misses(&cores) - misses_before;
-                    let slots_per_cycle = cfg.cores as u64;
-                    while let Some(due) = tel.next_due(cycle) {
-                        let at = now + (due - pre_ff_cycle) * period;
-                        let rewind = cycle - due;
-                        let hits: u64 = cores.iter().map(|c| c.l1.stats().hits).sum();
-                        let misses = l1_misses(&cores) + ff_l1_misses - miss_delta * rewind;
-                        let d = mc.stats();
-                        tel.counter("ssmc::l1", "hits", due, at, hits as f64);
-                        tel.counter("ssmc::l1", "misses", due, at, misses as f64);
-                        tel.counter(
-                            "ssmc::core",
-                            "issue_slots",
-                            due,
-                            at,
-                            (stats.issue_slots - rewind * slots_per_cycle) as f64,
-                        );
-                        tel.counter(
-                            "ssmc::core",
-                            "stall_slots",
-                            due,
-                            at,
-                            (stats.stall_slots - rewind * slots_per_cycle) as f64,
-                        );
-                        tel.counter(
-                            "ssmc::core",
-                            "demand_stalls",
-                            due,
-                            at,
-                            stats.demand_stalls as f64,
-                        );
-                        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
-                        tel.counter(
-                            "dram::controller",
-                            "row_misses",
-                            due,
-                            at,
-                            d.row_misses as f64,
-                        );
-                        tel.counter(
-                            "dram::controller",
-                            "queue_depth",
-                            due,
-                            at,
-                            mc.queue_len() as f64,
-                        );
-                    }
+                    emit_epoch_samples(
+                        &mut tel,
+                        &cores,
+                        &mc,
+                        &stats,
+                        ff_l1_misses,
+                        miss_delta,
+                        cycle,
+                        pre_ff_cycle,
+                        now,
+                        wheel.compute_period(),
+                        cfg.cores as u64,
+                    );
                 }
             }
             Edge::Channel(now) => {
+                // Replay the accounting for compute edges the wheel slept
+                // through (poll mode never sleeps, so this drains zero).
+                let skipped = wheel.drain_skipped();
+                if skipped > 0 {
+                    let s = sleep
+                        .as_ref()
+                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
+                        .expect("skipped edges without a sleep record");
+                    cycle += skipped;
+                    stats.ff_skipped_cycles += skipped;
+                    ff_l1_misses += s.miss_delta * skipped;
+                    stats.issue_slots += skipped * cfg.cores as u64;
+                    stats.stall_slots += skipped * cfg.cores as u64;
+                    idle_streak += skipped;
+                    assert!(
+                        idle_streak <= cfg.max_idle_cycles,
+                        "SSMC deadlock: no issue for {idle_streak} cycles"
+                    );
+                    if tel.enabled() {
+                        emit_epoch_samples(
+                            &mut tel,
+                            &cores,
+                            &mc,
+                            &stats,
+                            ff_l1_misses,
+                            s.miss_delta,
+                            cycle,
+                            s.anchor_cycle,
+                            s.anchor_now,
+                            wheel.compute_period(),
+                            cfg.cores as u64,
+                        );
+                    }
+                }
                 last_time = now;
                 mc.tick(now);
-                for comp in mc.pop_completed(now) {
+                let completions = mc.pop_completed(now);
+                let fills = completions.len();
+                for comp in completions {
                     if !comp.row_hit {
                         tel.event(
                             "dram::controller",
@@ -343,14 +399,29 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                     core.l1.fill(block);
                     core.mshr.complete(block);
                 }
+                if wheel.is_sleeping() {
+                    // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
+                    let s = sleep.as_ref().expect("asleep without a sleep record");
+                    // Wake on any fill (it unstalls a context, frees an
+                    // MSHR, or seeds the L1) or when a full DRAM queue
+                    // gained room (it can unblock a prefetch or demand
+                    // push). Waking early is always bit-exact: the next
+                    // compute edge just proves quiescence again.
+                    if fills > 0 || (s.free_slots == 0 && mc.free_slots() > 0) {
+                        wheel.wake_compute();
+                        sleep = None;
+                    }
+                }
             }
         }
     }
 
     stats.compute_cycles = cycle;
-    let states: Vec<&[u32]> = cores
+    let states: Vec<&[u32]> = threads
+        .t
+        .as_slice()
         .iter()
-        .flat_map(|core| core.ctxs.iter().map(|c| c.local.words()))
+        .map(|t| t.local.words())
         .collect();
     let output = workload.reduce(&states);
     let output_ok = output == workload.reference(&grid);
@@ -370,6 +441,71 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
     }
 }
 
+/// Emits every telemetry sample due up to `cycle`, reconstructing sample
+/// timestamps and per-cycle counters from the given anchor (the current
+/// edge in poll mode, the sleep entry in wheel mode).
+#[allow(clippy::too_many_arguments)]
+fn emit_epoch_samples(
+    tel: &mut Telemetry,
+    cores: &[Core],
+    mc: &MemoryController,
+    stats: &CoreStats,
+    ff_l1_misses: u64,
+    miss_delta: u64,
+    cycle: u64,
+    anchor_cycle: u64,
+    anchor_now: TimePs,
+    period: TimePs,
+    slots_per_cycle: u64,
+) {
+    let l1_misses: u64 = cores.iter().map(|c| c.l1.stats().misses).sum();
+    while let Some(due) = tel.next_due(cycle) {
+        let at = anchor_now + (due - anchor_cycle) * period;
+        let rewind = cycle - due;
+        let hits: u64 = cores.iter().map(|c| c.l1.stats().hits).sum();
+        let misses = l1_misses + ff_l1_misses - miss_delta * rewind;
+        let d = mc.stats();
+        tel.counter("ssmc::l1", "hits", due, at, hits as f64);
+        tel.counter("ssmc::l1", "misses", due, at, misses as f64);
+        tel.counter(
+            "ssmc::core",
+            "issue_slots",
+            due,
+            at,
+            (stats.issue_slots - rewind * slots_per_cycle) as f64,
+        );
+        tel.counter(
+            "ssmc::core",
+            "stall_slots",
+            due,
+            at,
+            (stats.stall_slots - rewind * slots_per_cycle) as f64,
+        );
+        tel.counter(
+            "ssmc::core",
+            "demand_stalls",
+            due,
+            at,
+            stats.demand_stalls as f64,
+        );
+        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
+        tel.counter(
+            "dram::controller",
+            "row_misses",
+            due,
+            at,
+            d.row_misses as f64,
+        );
+        tel.counter(
+            "dram::controller",
+            "queue_depth",
+            due,
+            at,
+            mc.queue_len() as f64,
+        );
+    }
+}
+
 /// One issue attempt for core `c`; returns whether an instruction issued.
 #[allow(clippy::too_many_arguments)]
 fn core_tick(
@@ -380,6 +516,7 @@ fn core_tick(
     image: &millipede_mem::InputImage,
     row_bytes: u64,
     slab_bytes: u64,
+    threads: &mut Threads,
     cores: &mut [Core],
     mc: &mut MemoryController,
     stats: &mut CoreStats,
@@ -388,12 +525,17 @@ fn core_tick(
     // Keep the slab prefetcher running off the leading context's position.
     pump_prefetch(c, now, row_bytes, slab_bytes, cores, mc, stats);
 
+    // Whole-core early-out: a core whose contexts all halted scans nothing
+    // (its prefetcher may still be draining the tail of the stream above).
+    if threads.done.all_set(c) {
+        return false;
+    }
     for k in 0..cfg.contexts {
         let x = (cores[c].rr + k) % cfg.contexts;
-        if cores[c].done[x] {
+        if threads.done.get(c, x) {
             continue;
         }
-        let input_addr = match effective_access(&cores[c].ctxs[x], program) {
+        let input_addr = match effective_access(threads.t.get(c, x), program) {
             Some(ea) if ea.space == AddrSpace::Input => Some(ea.addr),
             _ => None,
         };
@@ -401,7 +543,7 @@ fn core_tick(
             let core = &mut cores[c];
             core.demand_row = core.demand_row.max(addr / row_bytes);
             if core.l1.access(addr) {
-                commit(c, x, cores, program, image, stats, halted);
+                commit(c, x, threads, program, image, stats, halted);
                 cores[c].rr = (x + 1) % cfg.contexts;
                 return true;
             }
@@ -418,13 +560,13 @@ fn core_tick(
                     stats.demand_fetches += 1;
                 }
             }
-            if !core.stalled[x] {
-                core.stalled[x] = true;
+            if !threads.stalled.get(c, x) {
+                threads.stalled.set(c, x, true);
                 stats.demand_stalls += 1;
             }
             continue;
         }
-        commit(c, x, cores, program, image, stats, halted);
+        commit(c, x, threads, program, image, stats, halted);
         cores[c].rr = (x + 1) % cfg.contexts;
         return true;
     }
@@ -470,15 +612,14 @@ fn pump_prefetch(
 fn commit(
     c: usize,
     x: usize,
-    cores: &mut [Core],
+    threads: &mut Threads,
     program: &millipede_isa::Program,
     image: &millipede_mem::InputImage,
     stats: &mut CoreStats,
     halted: &mut usize,
 ) {
-    let core = &mut cores[c];
-    core.stalled[x] = false;
-    let effect = step(&mut core.ctxs[x], program, image)
+    threads.stalled.set(c, x, false);
+    let effect = step(threads.t.get_mut(c, x), program, image)
         .unwrap_or_else(|trap| panic!("kernel trap on core {c} ctx {x}: {trap}"));
     stats.instructions += 1;
     stats.issues += 1;
@@ -488,7 +629,7 @@ fn commit(
         StepEffect::LocalLoad { .. } => stats.local_loads += 1,
         StepEffect::LocalStore { .. } => stats.local_stores += 1,
         StepEffect::Halt => {
-            core.done[x] = true;
+            threads.done.set(c, x, true);
             *halted += 1;
         }
         _ => {}
@@ -585,6 +726,38 @@ mod tests {
             assert_eq!(fast.dram, slow.dram, "{bench:?}: DRAM stats diverged");
             assert_eq!(fast.elapsed_ps, slow.elapsed_ps);
             assert_eq!(fast.output, slow.output);
+        }
+    }
+
+    #[test]
+    fn event_wheel_is_bit_exact() {
+        for bench in [Benchmark::Count, Benchmark::Variance] {
+            for ff in [false, true] {
+                let w = small(bench);
+                let mk = |scheduler| SsmcConfig {
+                    fast_forward: ff,
+                    scheduler,
+                    ..SsmcConfig::default()
+                };
+                let poll = run(&w, &mk(SchedulerKind::Poll));
+                let wheel = run(&w, &mk(SchedulerKind::Wheel));
+                // The wheel sleeps through edges poll merely polls between
+                // hops, so the skip counter is the one legitimate
+                // difference; everything else must be bit-identical.
+                let mut ps = poll.stats.clone();
+                let mut ws = wheel.stats.clone();
+                ps.ff_skipped_cycles = 0;
+                ws.ff_skipped_cycles = 0;
+                assert_eq!(ws, ps, "{bench:?} ff={ff}: stats diverged");
+                assert_eq!(wheel.dram, poll.dram, "{bench:?} ff={ff}: DRAM diverged");
+                assert_eq!(wheel.elapsed_ps, poll.elapsed_ps, "{bench:?} ff={ff}");
+                assert_eq!(wheel.output, poll.output, "{bench:?} ff={ff}");
+                if !ff {
+                    // Without fast-forward the wheel only masks channel
+                    // edges; it must not skip any compute edges.
+                    assert_eq!(wheel.stats.ff_skipped_cycles, 0, "{bench:?}");
+                }
+            }
         }
     }
 

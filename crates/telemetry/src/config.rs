@@ -37,11 +37,13 @@ impl Default for TelemetryConfig {
 }
 
 impl TelemetryConfig {
-    /// Reads the `MILLIPEDE_TELEMETRY` environment switch, mirroring
-    /// `MILLIPEDE_FASTFORWARD`: unset or `0` leaves telemetry off; any
-    /// other value enables it with the default epoch and capacity.
+    /// Reads the `MILLIPEDE_TELEMETRY` environment switch, following the
+    /// repo-wide boolean-knob rule (`millipede_sim::config::env_flag`;
+    /// restated here because this crate is dependency-free): unset, empty,
+    /// or `0` leaves telemetry off; any other value enables it with the
+    /// default epoch and capacity.
     pub fn from_env() -> Self {
-        let enabled = std::env::var("MILLIPEDE_TELEMETRY").is_ok_and(|v| v != "0");
+        let enabled = std::env::var("MILLIPEDE_TELEMETRY").is_ok_and(|v| !v.is_empty() && v != "0");
         TelemetryConfig {
             enabled,
             ..TelemetryConfig::default()

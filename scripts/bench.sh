@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_7.json: the fixed poll-vs-wheel scheduler sweep
+# (schema millipede-bench/1; see EXPERIMENTS.md, "Scheduler wall-clock
+# benchmarks"). The sweep is deterministic — fixed points, fixed seeds,
+# median of three in-process runs per engine — so regenerating the file
+# changes only the measured wall-times, never the shape, and the binary
+# exits nonzero if the two schedulers ever disagree on a digest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release --workspace
+./target/release/millipede-bench --runs 3 --out BENCH_7.json

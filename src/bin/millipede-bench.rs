@@ -1,0 +1,282 @@
+//! Scheduler wall-clock benchmark: the fixed sweep behind `BENCH_*.json`.
+//!
+//! Runs every point of a fixed sweep under both main-loop schedulers
+//! (`poll` and `wheel`), checks their determinism digests agree, and
+//! writes per-point wall-times as JSON in the `millipede-bench/1` schema
+//! (documented in EXPERIMENTS.md). The sweep itself is deterministic —
+//! fixed points, fixed seeds, median of N runs — so regenerating the
+//! file changes only the measured times, never the shape.
+//!
+//! The designated idle-heavy point (a bandwidth-starved Millipede node:
+//! 8-bit DRAM channel, one context per corelet, so every row takes ~4×
+//! longer to arrive than it takes to consume) is additionally timed
+//! against the per-edge polling baseline (`poll` with fast-forward
+//! disabled — the engine the wheel replaced, which walks every clock
+//! edge). Results are bit-identical across all three engines, so the
+//! comparison is apples-to-apples.
+//!
+//! ```text
+//! millipede-bench [--runs N] [--out FILE]
+//! ```
+
+use millipede::core_arch::{self, MillipedeConfig, NodeResult};
+use millipede::dram::DramTiming;
+use millipede::sim::{digest_run, run_one, Arch, SchedulerKind, SimConfig, TelemetryConfig};
+use millipede::workloads::{Benchmark, Workload};
+use std::time::Instant;
+
+/// One standard sweep point, timed through the shared [`run_one`] driver.
+struct Point {
+    label: &'static str,
+    arch: Arch,
+    arch_name: &'static str,
+    bench: Benchmark,
+    chunks: usize,
+}
+
+const POINTS: [Point; 5] = [
+    Point {
+        label: "millipede-count",
+        arch: Arch::Millipede,
+        arch_name: "millipede",
+        bench: Benchmark::Count,
+        chunks: 128,
+    },
+    Point {
+        label: "millipede-no-rate-match-count",
+        arch: Arch::MillipedeNoRateMatch,
+        arch_name: "millipede-no-rate-match",
+        bench: Benchmark::Count,
+        chunks: 128,
+    },
+    Point {
+        label: "ssmc-count",
+        arch: Arch::Ssmc,
+        arch_name: "ssmc",
+        bench: Benchmark::Count,
+        chunks: 128,
+    },
+    Point {
+        label: "vws-row-count",
+        arch: Arch::VwsRow,
+        arch_name: "vws-row",
+        bench: Benchmark::Count,
+        chunks: 128,
+    },
+    Point {
+        label: "gpgpu-variance",
+        arch: Arch::Gpgpu,
+        arch_name: "gpgpu",
+        bench: Benchmark::Variance,
+        chunks: 64,
+    },
+];
+
+/// Chunks for the idle-heavy point (long enough that per-run wall time
+/// dwarfs workload construction).
+const IDLE_HEAVY_CHUNKS: usize = 128;
+
+/// The idle-heavy configuration: Millipede without rate matching on a
+/// deliberately bandwidth-starved node. An 8-bit channel delivers a 2 KB
+/// row in 2048 channel cycles (~1.7 µs) while a single context per
+/// corelet consumes it in a fraction of that, so the compute domain
+/// spends most of simulated time quiescent, waiting on fills.
+fn idle_heavy_config(scheduler: SchedulerKind, fast_forward: bool) -> MillipedeConfig {
+    MillipedeConfig {
+        corelets: 64,
+        contexts: 1,
+        timing: DramTiming {
+            width_bits: 8,
+            ..DramTiming::default()
+        },
+        fast_forward,
+        scheduler,
+        ..MillipedeConfig::no_rate_match()
+    }
+}
+
+/// Times `runs` repetitions of a closure-built run. Returns per-run
+/// wall-times in milliseconds and the last run's result.
+fn time_runs<R>(runs: usize, mut run: impl FnMut() -> R) -> (Vec<f64>, R) {
+    let mut ms = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        last = Some(run());
+        ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (ms, last.expect("runs >= 1"))
+}
+
+/// Times one standard point under one scheduler. Both schedulers run with
+/// fast-forward on (the shipping default).
+fn measure(p: &Point, scheduler: SchedulerKind, runs: usize) -> (Vec<f64>, u64) {
+    let cfg = SimConfig {
+        num_chunks: p.chunks,
+        fast_forward: true,
+        scheduler,
+        // Pin the observational knobs so ambient MILLIPEDE_* variables
+        // cannot skew the comparison.
+        telemetry: TelemetryConfig::default(),
+        ..SimConfig::default()
+    };
+    let (ms, r) = time_runs(runs, || run_one(p.arch, p.bench, &cfg));
+    (ms, digest_run(&r))
+}
+
+/// Times the idle-heavy point under one engine configuration.
+fn measure_idle_heavy(
+    scheduler: SchedulerKind,
+    fast_forward: bool,
+    runs: usize,
+) -> (Vec<f64>, NodeResult) {
+    let cfg = idle_heavy_config(scheduler, fast_forward);
+    let w = Workload::build(Benchmark::Count, IDLE_HEAVY_CHUNKS, 2048, 42);
+    time_runs(runs, || core_arch::run(&w, &cfg))
+}
+
+/// Bit-equality of two runs' observable results (`ff_skipped_cycles` is
+/// schedule-dependent bookkeeping, excluded exactly as in the digests).
+fn same_result(a: &NodeResult, b: &NodeResult) -> bool {
+    let mut sa = a.stats.clone();
+    let mut sb = b.stats.clone();
+    sa.ff_skipped_cycles = 0;
+    sb.ff_skipped_cycles = 0;
+    sa == sb && a.dram == b.dram && a.elapsed_ps == b.elapsed_ps && a.output == b.output
+}
+
+fn median(ms: &[f64]) -> f64 {
+    let mut sorted = ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall-times are finite"));
+    sorted[sorted.len() / 2]
+}
+
+fn fmt_ms_list(ms: &[f64]) -> String {
+    let items: Vec<String> = ms.iter().map(|m| format!("{m:.3}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = 3usize;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                runs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs a positive integer");
+                    std::process::exit(2);
+                });
+                runs = runs.max(1);
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (usage: millipede-bench [--runs N] [--out FILE])"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_match = true;
+    for p in &POINTS {
+        eprintln!("bench: {} ...", p.label);
+        let (poll_ms, poll_digest) = measure(p, SchedulerKind::Poll, runs);
+        let (wheel_ms, wheel_digest) = measure(p, SchedulerKind::Wheel, runs);
+        let digests_match = poll_digest == wheel_digest;
+        all_match &= digests_match;
+        let poll_med = median(&poll_ms);
+        let wheel_med = median(&wheel_ms);
+        let speedup = poll_med / wheel_med;
+        entries.push(format!(
+            "    {{\n      \"label\": \"{}\",\n      \"arch\": \"{}\",\n      \
+             \"bench\": \"{}\",\n      \"chunks\": {},\n      \"corelets\": 32,\n      \
+             \"contexts\": 4,\n      \"poll_ms\": {},\n      \"wheel_ms\": {},\n      \
+             \"poll_median_ms\": {poll_med:.3},\n      \"wheel_median_ms\": {wheel_med:.3},\n      \
+             \"speedup\": {speedup:.3},\n      \"digests_match\": {digests_match}\n    }}",
+            p.label,
+            p.arch_name,
+            p.bench.name(),
+            p.chunks,
+            fmt_ms_list(&poll_ms),
+            fmt_ms_list(&wheel_ms),
+        ));
+        eprintln!(
+            "bench: {}: poll {poll_med:.1} ms, wheel {wheel_med:.1} ms ({speedup:.2}x), digests {}",
+            p.label,
+            if digests_match { "match" } else { "MISMATCH" }
+        );
+    }
+
+    eprintln!("bench: idle-heavy-low-bandwidth ...");
+    let (poll_ms, poll_r) = measure_idle_heavy(SchedulerKind::Poll, true, runs);
+    let (wheel_ms, wheel_r) = measure_idle_heavy(SchedulerKind::Wheel, true, runs);
+    let (edge_ms, edge_r) = measure_idle_heavy(SchedulerKind::Poll, false, runs);
+    let digests_match = same_result(&poll_r, &wheel_r) && same_result(&edge_r, &wheel_r);
+    all_match &= digests_match;
+    let poll_med = median(&poll_ms);
+    let wheel_med = median(&wheel_ms);
+    let edge_med = median(&edge_ms);
+    let speedup = poll_med / wheel_med;
+    let vs_edge = edge_med / wheel_med;
+    eprintln!(
+        "bench: idle-heavy-low-bandwidth: per-edge poll {edge_med:.1} ms, ff poll \
+         {poll_med:.1} ms, wheel {wheel_med:.1} ms ({vs_edge:.2}x vs per-edge, \
+         {speedup:.2}x vs ff poll), digests {}",
+        if digests_match { "match" } else { "MISMATCH" }
+    );
+
+    let idle_entry = format!(
+        "  \"idle_heavy\": {{\n    \"label\": \"idle-heavy-low-bandwidth\",\n    \
+         \"arch\": \"millipede-no-rate-match\",\n    \"bench\": \"count\",\n    \
+         \"chunks\": {IDLE_HEAVY_CHUNKS},\n    \"corelets\": 64,\n    \"contexts\": 1,\n    \
+         \"dram_width_bits\": 8,\n    \"per_edge_poll_ms\": {},\n    \
+         \"poll_ms\": {},\n    \"wheel_ms\": {},\n    \
+         \"per_edge_poll_median_ms\": {edge_med:.3},\n    \
+         \"poll_median_ms\": {poll_med:.3},\n    \"wheel_median_ms\": {wheel_med:.3},\n    \
+         \"speedup_vs_per_edge_poll\": {vs_edge:.3},\n    \
+         \"speedup_vs_fast_forward_poll\": {speedup:.3},\n    \
+         \"digests_match\": {digests_match}\n  }}",
+        fmt_ms_list(&edge_ms),
+        fmt_ms_list(&poll_ms),
+        fmt_ms_list(&wheel_ms),
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"millipede-bench/1\",\n  \"runs_per_point\": {runs},\n  \
+         \"notes\": \"Wall-times for scheduler=poll vs scheduler=wheel (both with \
+         idle-cycle fast-forward on, the shipping default) at each point; medians over \
+         runs_per_point in-process runs. The idle-heavy point is a bandwidth-starved \
+         Millipede node (8-bit DRAM channel, one context per corelet) also timed against \
+         the per-edge polling baseline (poll with fast-forward off, which walks every \
+         clock edge). All engines produce bit-identical results.\",\n{idle_entry},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("bench: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if !all_match {
+        eprintln!("bench: RESULT MISMATCH between schedulers");
+        std::process::exit(1);
+    }
+}

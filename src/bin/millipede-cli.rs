@@ -7,6 +7,7 @@
 //! millipede-cli verify <kernel.asm>... [--json] [--strict] [--annotate]
 //!               [--local-bytes N] [--input-bytes N]
 //! millipede-cli verify --kernels [--json] [--strict] [--annotate]
+//! millipede-cli disasm (<kernel.asm>... | --kernels)
 //! millipede-cli list
 //! ```
 //!
@@ -17,13 +18,19 @@
 //! millipede-cli kmeans ssmc --csv
 //! millipede-cli verify my_kernel.asm --json
 //! millipede-cli verify --kernels --annotate
+//! millipede-cli disasm my_kernel.asm
+//! millipede-cli disasm --kernels
 //! ```
 //!
 //! `verify` exits 0 when every program is clean, 1 when any diagnostic
 //! survives, and 2 on usage or I/O errors. `.asm` sources may carry
 //! `# verify-config: local-bytes=N input-bytes=N strict` directives and
 //! per-instruction `# verify:allow(MVxxx): reason` suppressions.
+//! `disasm` round-trips a program through the assembler and prints the
+//! canonical labeled listing; with `--kernels` it lists all eight
+//! compiled-in benchmark kernels.
 
+use millipede::isa::{assemble, disassemble};
 use millipede::sim::{run_one, Arch, SimConfig};
 use millipede::verify::{
     annotate, annotate_source, reports_to_json, verify_program, verify_source, VerifyConfig,
@@ -48,6 +55,7 @@ fn usage() -> ! {
          [--corelets N] [--pbuf N] [--csv]\n       \
          millipede-cli verify (<kernel.asm>... | --kernels) [--json] [--strict] \
          [--annotate] [--local-bytes N] [--input-bytes N]\n       \
+         millipede-cli disasm (<kernel.asm>... | --kernels)\n       \
          millipede-cli list"
     );
     std::process::exit(2);
@@ -145,6 +153,55 @@ fn verify_cmd(args: &[String]) -> i32 {
     i32::from(reports.iter().any(|r| !r.is_clean()))
 }
 
+/// The `disasm` subcommand: print the canonical labeled listing of `.asm`
+/// files or the eight compiled-in kernels. Returns the process exit code.
+fn disasm_cmd(args: &[String]) -> i32 {
+    let mut files: Vec<String> = Vec::new();
+    let mut kernels = false;
+    for arg in args {
+        match arg.as_str() {
+            "--kernels" => kernels = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if kernels != files.is_empty() {
+        // Exactly one of --kernels / file arguments must be given.
+        usage();
+    }
+    if kernels {
+        for &bench in &Benchmark::ALL {
+            let w = Workload::build(bench, 1, 2048, 1);
+            println!("# {} ({} instructions)", bench.name(), w.program.len());
+            println!("{}", disassemble(&w.program));
+        }
+        return 0;
+    }
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return 2;
+            }
+        };
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        match assemble(&name, &source) {
+            Ok(program) => println!("{}", disassemble(&program)),
+            Err(e) => {
+                eprintln!("{path}: assembly failed: {e}");
+                return 2;
+            }
+        }
+    }
+    0
+}
+
 fn list() {
     println!("benchmarks:");
     for b in Benchmark::ALL {
@@ -164,6 +221,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("verify") {
         std::process::exit(verify_cmd(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("disasm") {
+        std::process::exit(disasm_cmd(&args[1..]));
     }
     if args.len() < 2 {
         usage();

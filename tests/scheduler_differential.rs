@@ -1,0 +1,127 @@
+//! Differential property tests for the event-wheel scheduler.
+//!
+//! The wheel (DESIGN.md, "Event-wheel scheduler") claims to be a pure
+//! wall-clock optimization over per-edge polling: a wheel run must be *bit
+//! identical* to its polled baseline in every observable quantity. Each
+//! model carries its own fixed-point differential test; this suite drives
+//! the claim across *randomized* sweep points (architecture × benchmark ×
+//! input size × prefetch-buffer entries × fast-forward) and across
+//! randomized DFS periods, the scheduler's hardest case (rate matching
+//! reschedules the compute clock from its last edge).
+//!
+//! The generators run on the in-repo seeded xorshift PRNG (see
+//! tests/proptest_invariants.rs): every case derives deterministically from
+//! a fixed seed, so a failure's printed case number reproduces it exactly.
+
+use millipede::core_arch::MillipedeConfig;
+use millipede::sim::{digest_run, run_one, Arch, SchedulerKind, SimConfig};
+use millipede::workloads::{Benchmark, Workload};
+
+/// xorshift64* (see tests/proptest_invariants.rs).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize_in(0, xs.len())]
+    }
+}
+
+/// The event-driven architecture variants (the multicore model is analytic
+/// and has no scheduler to differentiate).
+const EVENT_DRIVEN: [Arch; 7] = [
+    Arch::Gpgpu,
+    Arch::Vws,
+    Arch::Ssmc,
+    Arch::MillipedeNoFlowControl,
+    Arch::VwsRow,
+    Arch::MillipedeNoRateMatch,
+    Arch::Millipede,
+];
+
+#[test]
+fn wheel_and_poll_digests_agree_on_random_points() {
+    let mut rng = Rng::new(0x5eed);
+    for case in 0..10 {
+        let arch = *rng.pick(&EVENT_DRIVEN);
+        let bench = *rng.pick(&Benchmark::ALL);
+        let num_chunks = rng.usize_in(1, 5);
+        let pbuf_entries = *rng.pick(&[8usize, 16, 32]);
+        let fast_forward = rng.next_u64().is_multiple_of(2);
+        let mk = |scheduler| SimConfig {
+            num_chunks,
+            pbuf_entries,
+            fast_forward,
+            scheduler,
+            ..SimConfig::default()
+        };
+        let poll = run_one(arch, bench, &mk(SchedulerKind::Poll));
+        let wheel = run_one(arch, bench, &mk(SchedulerKind::Wheel));
+        let label = format!(
+            "case {case}: {} on {} (chunks={num_chunks} pbuf={pbuf_entries} \
+             ff={fast_forward})",
+            arch.label(),
+            bench.name()
+        );
+        // digest_run covers stats (minus ff_skipped_cycles), DRAM counters,
+        // elapsed time, energy, and the reduced output.
+        assert_eq!(digest_run(&poll), digest_run(&wheel), "{label}");
+        assert_eq!(poll.node.elapsed_ps, wheel.node.elapsed_ps, "{label}");
+        assert_eq!(poll.node.output, wheel.node.output, "{label}");
+    }
+}
+
+#[test]
+fn wheel_matches_poll_across_random_dfs_periods() {
+    // Rate matching is the wheel's hardest case: a DFS adjustment changes
+    // the compute period mid-run and reschedules from the *last* compute
+    // edge, so any wheel drift in edge delivery would shift every later
+    // edge. Randomize the DFS cooldown (and thus where adjustments land).
+    let mut rng = Rng::new(0xd5f);
+    for case in 0..6 {
+        let rate_cooldown = rng.range(16, 1024);
+        let bench = *rng.pick(&Benchmark::ALL);
+        let seed = rng.range(1, 1 << 20);
+        let w = Workload::build(bench, 2, 2048, seed);
+        let mk = |scheduler| MillipedeConfig {
+            rate_cooldown,
+            scheduler,
+            ..MillipedeConfig::default()
+        };
+        let poll = millipede::core_arch::run(&w, &mk(SchedulerKind::Poll));
+        let wheel = millipede::core_arch::run(&w, &mk(SchedulerKind::Wheel));
+        let label = format!(
+            "case {case}: {} cooldown={rate_cooldown} seed={seed}",
+            bench.name()
+        );
+        let mut ps = poll.stats.clone();
+        let mut ws = wheel.stats.clone();
+        ps.ff_skipped_cycles = 0;
+        ws.ff_skipped_cycles = 0;
+        assert_eq!(ws, ps, "{label}: stats diverged");
+        assert_eq!(wheel.dram, poll.dram, "{label}: DRAM diverged");
+        assert_eq!(wheel.elapsed_ps, poll.elapsed_ps, "{label}");
+        assert_eq!(wheel.output, poll.output, "{label}");
+    }
+}
