@@ -46,6 +46,17 @@ MILLIPEDE_SCHEDULER=poll cargo test --offline -q -p millipede \
 MILLIPEDE_SCHEDULER=wheel cargo test --offline -q -p millipede \
     --test golden_digests --test scheduler_differential
 
+echo "==> decoded-interpreter differential (both schedulers)"
+# The predecoded micro-op interpreter must be bit-identical to the
+# reference enum interpreter (fixtures, kernels, randomized programs), and
+# every timing model must still validate end-to-end through it. The model
+# leg reads MILLIPEDE_SCHEDULER via SimConfig::default(), so running under
+# both settings covers decoded execution on both scheduler engines.
+MILLIPEDE_SCHEDULER=poll cargo test --offline -q -p millipede \
+    --test decoded_differential
+MILLIPEDE_SCHEDULER=wheel cargo test --offline -q -p millipede \
+    --test decoded_differential
+
 echo "==> telemetry (MILLIPEDE_TELEMETRY=1 digests + trace export)"
 # Telemetry is observational: the golden digests must hold with it on, and
 # the telemetry suite's own differentials must pass under the env toggle.
@@ -111,5 +122,10 @@ assert covered == {f"MV{i:03d}" for i in range(1, 11)}, f"corpus gaps: {covered}
 print(f"verifier OK: 8 kernels clean, {len(expected)} fixtures as expected")
 EOF
 fi
+
+echo "==> example pipeline (scripts/run_examples.sh)"
+# asm -> verify -> disasm round-trip -> functional run over the fixture
+# corpus; disasm or toolchain failures are fatal inside the script.
+scripts/run_examples.sh > /dev/null
 
 echo "CI green."

@@ -17,6 +17,7 @@
 //! | `float-eq`         | no `==` / `!=` against floating-point literals |
 //! | `module-doc`       | every module starts with a `//!` doc comment |
 //! | `wall-clock`       | no `Instant` / `SystemTime` in telemetry code — every telemetry timestamp must be simulated time |
+//! | `raw-fetch`        | no raw `.fetch(` instruction decode in timing-model per-cycle paths — models must execute through `DecodedProgram` so every instruction is decoded exactly once |
 //!
 //! A violation can be suppressed, with a reason, by a comment on the same
 //! line or the line above: `// audit:allow(<lint>): <reason>`.
@@ -47,17 +48,20 @@ pub enum Lint {
     ModuleDoc,
     /// Host wall-clock (`Instant` / `SystemTime`) in telemetry code.
     WallClock,
+    /// Raw `.fetch(` instruction decode in a timing-model per-cycle path.
+    RawFetch,
 }
 
 impl Lint {
     /// All lints, in diagnostic-catalogue order.
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 7] = [
         Lint::CastTruncation,
         Lint::HashIteration,
         Lint::UnwrapInHotPath,
         Lint::FloatEq,
         Lint::ModuleDoc,
         Lint::WallClock,
+        Lint::RawFetch,
     ];
 
     /// The lint's kebab-case name, as used in `audit:allow(<name>)`.
@@ -69,6 +73,7 @@ impl Lint {
             Lint::FloatEq => "float-eq",
             Lint::ModuleDoc => "module-doc",
             Lint::WallClock => "wall-clock",
+            Lint::RawFetch => "raw-fetch",
         }
     }
 }
@@ -121,6 +126,19 @@ const HOT_PATH_CRATES: [&str; 8] = [
 /// CSVs, digest differentials), so every timestamp it records must come
 /// from the simulated clock.
 const NO_WALL_CLOCK_CRATES: [&str; 1] = ["crates/telemetry"];
+
+/// Timing-model crates whose per-cycle paths must execute through the
+/// predecoded interpreter (`millipede-engine`'s `DecodedProgram`) for the
+/// `raw-fetch` lint. Decoding an instruction with `Program::fetch` every
+/// cycle is the double-decode pattern the predecode refactor removed; the
+/// reference interpreter (`crates/engine`), the static tooling, and the
+/// tests are exempt.
+const MODEL_CRATES: [&str; 4] = [
+    "crates/core",
+    "crates/ssmc",
+    "crates/gpgpu",
+    "crates/multicore",
+];
 
 /// Identifier fragments that mark a line as cycle/timing arithmetic.
 fn is_timing_token(tok: &str) -> bool {
@@ -312,6 +330,7 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let hot_path = HOT_PATH_CRATES.iter().any(|c| rel_path.starts_with(c));
     let no_wall_clock = NO_WALL_CLOCK_CRATES.iter().any(|c| rel_path.starts_with(c));
+    let model_crate = MODEL_CRATES.iter().any(|c| rel_path.starts_with(c));
     let hash_names: [String; 2] = [
         ["Hash", "Map"].concat(), // split so the auditor never flags itself
         ["Hash", "Set"].concat(),
@@ -412,6 +431,22 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
                     lint: Lint::WallClock,
                     message: "host wall-clock in telemetry code; timestamps must be simulated time"
                         .to_string(),
+                });
+            }
+
+            // raw-fetch: per-instruction decode in a timing-model crate.
+            // `.fetch(` is `Program::fetch` (enum decode per call); models
+            // must go through `DecodedProgram::fetch`/`commit`, whose
+            // receiver is the decoded table, not a `Program` value. The
+            // match is literal, so `fetch_add`-style atomics never fire.
+            if model_crate && !allowed(Lint::RawFetch) && code.contains(".fetch(") {
+                diags.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    lint: Lint::RawFetch,
+                    message:
+                        "raw `.fetch(` decode in a timing-model per-cycle path; execute through DecodedProgram"
+                            .to_string(),
                 });
             }
 
@@ -650,6 +685,32 @@ mod tests {
         let src =
             "//! D.\n// audit:allow(wall-clock): doc example only\nuse std::time::SystemTime;\n";
         assert!(scan_source("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_fetch_scoped_to_model_crates() {
+        let src = "//! D.\nfn f(p: &Program, pc: u32) -> Instr { *p.fetch(pc) }\n";
+        for model in [
+            "crates/core",
+            "crates/ssmc",
+            "crates/gpgpu",
+            "crates/multicore",
+        ] {
+            assert_eq!(
+                lints_of(&format!("{model}/src/x.rs"), src),
+                vec![Lint::RawFetch],
+                "{model}"
+            );
+        }
+        // The reference interpreter and static tooling decode freely.
+        assert!(scan_source("crates/engine/src/x.rs", src).is_empty());
+        assert!(scan_source("crates/verify/src/x.rs", src).is_empty());
+        // Atomics' fetch_add/fetch_or never fire the literal `.fetch(` match.
+        let atomics = "//! D.\nfn f(c: &AtomicU64) -> u64 { c.fetch_add(1, Ordering::Relaxed) }\n";
+        assert!(scan_source("crates/core/src/x.rs", atomics).is_empty());
+        // And the escape hatch works.
+        let allowed = "//! D.\n// audit:allow(raw-fetch): one-shot decode outside the cycle loop\nfn f(p: &Program) -> Instr { *p.fetch(0) }\n";
+        assert!(scan_source("crates/core/src/x.rs", allowed).is_empty());
     }
 
     #[test]

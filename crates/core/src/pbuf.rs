@@ -380,6 +380,16 @@ impl RowPrefetchBuffer {
         e.row
     }
 
+    /// Hands out the next pending row fetch as a `(slot, row)` pair, if
+    /// any. The slot must be completed via [`Self::fill_complete`] (or
+    /// returned with [`Self::untake_fetch`]). Equivalent to
+    /// `take_fetches(1)` without the `Vec` — the per-cycle prefetch pumps
+    /// poll this every compute edge.
+    pub fn pop_fetch(&mut self) -> Option<(usize, u64)> {
+        let slot = self.fetch_queue.pop_front()?;
+        Some((slot, self.entries[slot].row))
+    }
+
     /// Hands out up to `max` pending row fetches as `(slot, row)` pairs.
     /// Slots handed out must be completed via [`Self::fill_complete`].
     pub fn take_fetches(&mut self, max: usize) -> Vec<(usize, u64)> {

@@ -28,12 +28,10 @@ pub use run_impl::run;
 
 mod run_impl {
     use super::*;
-    use millipede_engine::step::effective_access;
     use millipede_engine::{
-        mhz_for_period_ps, period_ps_for_mhz, step, Arena2, CoreStats, DualClock, Edge, EventWheel,
-        FlagGrid, StepEffect, ThreadCtx,
+        mhz_for_period_ps, period_ps_for_mhz, AccessClass, Arena2, CoreStats, DecodedProgram,
+        DualClock, Edge, EventWheel, FlagGrid, StepEffect, ThreadCtx,
     };
-    use millipede_isa::AddrSpace;
     use millipede_mapreduce::ThreadGrid;
     use millipede_telemetry::Telemetry;
     use millipede_workloads::Workload;
@@ -54,6 +52,12 @@ mod run_impl {
         /// Set while a context waits at a processor-wide software barrier
         /// (§IV-C's alternative to hardware flow control).
         at_barrier: FlagGrid,
+        /// Outstanding burst-retire issue credits per context: when a
+        /// context reaches the head of a pure-ALU run, the run executes
+        /// functionally in one go and the remaining instructions are
+        /// charged one issue cycle each from this counter
+        /// (replay-by-count; see DESIGN.md, "Predecoded interpreter").
+        burst: Arena2<u32>,
     }
 
     /// Compute-sleep bookkeeping for the event wheel: what the quiescent
@@ -109,6 +113,7 @@ mod run_impl {
         let slab_words = (slab_bytes / 4) as u32;
         let total_rows = layout.total_rows();
         let program = workload.program.clone();
+        let decoded = DecodedProgram::of(&program);
         let image = workload.dataset.image.clone();
 
         let mut pbuf = RowPrefetchBuffer::new(
@@ -138,6 +143,7 @@ mod run_impl {
             done: FlagGrid::new(cfg.corelets, cfg.contexts),
             stalled: FlagGrid::new(cfg.corelets, cfg.contexts),
             at_barrier: FlagGrid::new(cfg.corelets, cfg.contexts),
+            burst: Arena2::from_fn(cfg.corelets, cfg.contexts, |_, _| 0u32),
         };
         let mut rr = vec![0usize; cfg.corelets];
         // Per-corelet bypass store: row → slab-fill-arrived (no-flow-control
@@ -194,8 +200,7 @@ mod run_impl {
                     let tel_flow_blocks_before = pbuf.stats().flow_blocks;
                     // Hand pending row prefetches to the controller.
                     while mc.free_slots() > 0 {
-                        let fetches = pbuf.take_fetches(1);
-                        let Some(&(slot, row)) = fetches.first() else {
+                        let Some((slot, row)) = pbuf.pop_fetch() else {
                             break;
                         };
                         let req = Request {
@@ -218,7 +223,7 @@ mod run_impl {
                             now,
                             cycle,
                             cfg,
-                            &program,
+                            &decoded,
                             &image,
                             row_bytes,
                             slab_bytes,
@@ -499,7 +504,7 @@ mod run_impl {
         now: TimePs,
         cycle: u64,
         cfg: &MillipedeConfig,
-        program: &millipede_isa::Program,
+        decoded: &DecodedProgram,
         image: &millipede_mem::InputImage,
         row_bytes: u64,
         slab_bytes: u64,
@@ -519,23 +524,40 @@ mod run_impl {
             return false;
         }
         for k in 0..cfg.contexts {
-            let x = (rr[c] + k) % cfg.contexts;
+            let mut x = rr[c] + k;
+            if x >= cfg.contexts {
+                x -= cfg.contexts;
+            }
             if threads.done.get(c, x) || threads.at_barrier.get(c, x) {
                 continue;
             }
-            let input_ea = effective_access(threads.t.get(c, x), program)
-                .filter(|ea| ea.space == AddrSpace::Input);
-            if let Some(ea) = input_ea {
-                let row = ea.addr / row_bytes;
+            // Charge one banked burst-retire credit: the instruction
+            // already executed functionally (it was pure ALU — invisible
+            // to every other context and to the memory system), so this
+            // cycle only pays its issue slot. Identical scheduling to
+            // committing it here: a mid-run context always issues.
+            {
+                let credits = threads.burst.get_mut(c, x);
+                if *credits > 0 {
+                    *credits -= 1;
+                    stats.instructions += 1;
+                    stats.issues += 1;
+                    rr[c] = if x + 1 == cfg.contexts { 0 } else { x + 1 };
+                    return true;
+                }
+            }
+            if decoded.access_class(threads.t.get(c, x).pc) == AccessClass::InputLoad {
+                let addr = decoded.mem_addr_at(threads.t.get(c, x));
+                let row = addr / row_bytes;
                 match pbuf.lookup(row) {
                     Lookup::Ready { slot } => {
-                        commit(c, x, threads, program, image, stats, halted);
+                        commit(c, x, threads, decoded, image, stats, halted, Some(addr));
                         stats.pbuf_hits += 1;
                         let out = pbuf.consume(slot, c);
                         if out.trigger_blocked {
                             rate.on_signal(OccupancySignal::Full, cycle, wheel.clock_mut());
                         }
-                        rr[c] = (x + 1) % cfg.contexts;
+                        rr[c] = if x + 1 == cfg.contexts { 0 } else { x + 1 };
                         return true;
                     }
                     Lookup::Future => {
@@ -567,8 +589,8 @@ mod run_impl {
                         );
                         match bypass[c].get(&row) {
                             Some(true) => {
-                                commit(c, x, threads, program, image, stats, halted);
-                                rr[c] = (x + 1) % cfg.contexts;
+                                commit(c, x, threads, decoded, image, stats, halted, Some(addr));
+                                rr[c] = if x + 1 == cfg.contexts { 0 } else { x + 1 };
                                 return true;
                             }
                             Some(false) => {
@@ -603,8 +625,8 @@ mod run_impl {
                     }
                 }
             } else {
-                commit(c, x, threads, program, image, stats, halted);
-                rr[c] = (x + 1) % cfg.contexts;
+                commit(c, x, threads, decoded, image, stats, halted, None);
+                rr[c] = if x + 1 == cfg.contexts { 0 } else { x + 1 };
                 return true;
             }
         }
@@ -612,19 +634,40 @@ mod run_impl {
     }
 
     /// Functionally executes the context's next instruction and updates
-    /// statistics.
+    /// statistics. `mem_addr` carries the effective address the issue scan
+    /// already computed for a load (so it is not recomputed to commit).
+    ///
+    /// A context at the head of a pure-ALU run retires the *whole run*
+    /// here and banks the remaining issue cycles as burst credits; only
+    /// the first instruction is charged this cycle.
+    #[allow(clippy::too_many_arguments)]
     fn commit(
         c: usize,
         x: usize,
         threads: &mut Threads,
-        program: &millipede_isa::Program,
+        decoded: &DecodedProgram,
         image: &millipede_mem::InputImage,
         stats: &mut CoreStats,
         halted: &mut usize,
+        mem_addr: Option<u64>,
     ) {
         threads.stalled.set(c, x, false);
-        let effect = step(threads.t.get_mut(c, x), program, image)
-            .unwrap_or_else(|trap| panic!("kernel trap on corelet {c} ctx {x}: {trap}"));
+        let ctx = threads.t.get_mut(c, x);
+        if decoded.run_len(ctx.pc) > 0 {
+            // Pure ALU: never traps, never halts, never barriers — no
+            // effect bookkeeping beyond the per-cycle issue charge.
+            let n = decoded.burst_retire(ctx, u32::MAX);
+            *threads.burst.get_mut(c, x) = n - 1;
+            stats.instructions += 1;
+            stats.issues += 1;
+            return;
+        }
+        let committed = match mem_addr {
+            Some(addr) => decoded.commit_mem_at(ctx, addr, image),
+            None => decoded.commit(ctx, image),
+        };
+        let effect =
+            committed.unwrap_or_else(|trap| panic!("kernel trap on corelet {c} ctx {x}: {trap}"));
         stats.instructions += 1;
         stats.issues += 1;
         let mut sync_check = false;

@@ -11,7 +11,8 @@
 //!    cheaply.
 
 use crate::context::ThreadCtx;
-use crate::step::{step, StepEffect, Trap};
+use crate::decoded::DecodedProgram;
+use crate::step::{StepEffect, Trap};
 use millipede_isa::Program;
 use millipede_mem::InputImage;
 
@@ -76,18 +77,33 @@ impl FuncStats {
 }
 
 /// Runs `ctx` until it halts (or `step_limit` instructions elapse).
+///
+/// Executes over the program's predecoded form ([`DecodedProgram`]),
+/// retiring whole pure-ALU runs per loop iteration; the observable result
+/// (final context state, statistics, traps) is bit-identical to stepping
+/// the reference interpreter one instruction at a time.
 pub fn run_functional(
     ctx: &mut ThreadCtx,
     program: &Program,
     input: &InputImage,
     step_limit: u64,
 ) -> Result<FuncStats, Trap> {
+    let decoded = DecodedProgram::of(program);
     let mut stats = FuncStats::default();
     while !ctx.halted {
         if stats.instructions >= step_limit {
             return Err(Trap::StepLimit);
         }
-        let effect = step(ctx, program, input)?;
+        if decoded.run_len(ctx.pc) > 0 {
+            // Pure-ALU run: retire it in one burst, capped at the step
+            // budget so a runaway kernel still hits the limit exactly.
+            let budget = step_limit - stats.instructions;
+            let cap = u32::try_from(budget).unwrap_or(u32::MAX);
+            let n = decoded.burst_retire(ctx, cap);
+            stats.instructions += u64::from(n);
+            continue;
+        }
+        let effect = decoded.commit(ctx, input)?;
         stats.instructions += 1;
         match effect {
             StepEffect::Branch { taken } => {

@@ -21,6 +21,7 @@ pub mod alu;
 pub mod arena;
 pub mod clock;
 pub mod context;
+pub mod decoded;
 pub mod func;
 pub mod stats;
 pub mod step;
@@ -29,6 +30,7 @@ pub mod wheel;
 pub use arena::{Arena2, FlagGrid};
 pub use clock::{mhz_for_period_ps, period_ps_for_mhz, DualClock, Edge, TimePs};
 pub use context::{LaunchParams, ThreadCtx};
+pub use decoded::{AccessClass, DecodedProgram, MicroOp, OpCode};
 pub use func::{run_functional, FuncStats, DEFAULT_STEP_LIMIT};
 pub use stats::CoreStats;
 pub use step::{step, EffectiveAccess, StepEffect, Trap};

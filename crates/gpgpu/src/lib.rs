@@ -31,11 +31,11 @@ pub use config::GpgpuConfig;
 use millipede_core::pbuf::{Lookup, RowPrefetchBuffer};
 use millipede_core::NodeResult;
 use millipede_dram::{MemoryController, Request, TimePs};
-use millipede_engine::step::effective_access;
 use millipede_engine::{
-    period_ps_for_mhz, step, CoreStats, DualClock, Edge, EventWheel, StepEffect, ThreadCtx,
+    period_ps_for_mhz, AccessClass, CoreStats, DecodedProgram, DualClock, Edge, EventWheel,
+    StepEffect, ThreadCtx,
 };
-use millipede_isa::{AddrSpace, Instr, ReconvergenceMap};
+use millipede_isa::ReconvergenceMap;
 use millipede_mapreduce::ThreadGrid;
 use millipede_mem::{coalesce_blocks, Cache, Mshr, SharedMemoryBanks};
 use millipede_telemetry::Telemetry;
@@ -50,8 +50,19 @@ struct Sm {
     warps: Vec<Warp>,
     /// Outstanding memory fills per warp.
     outstanding: Vec<u32>,
+    /// Sum of `outstanding`, maintained at the three mutation sites so the
+    /// per-edge quiescence fingerprint reads one counter instead of
+    /// re-summing the per-warp vector.
+    outstanding_total: u64,
     /// Warp busy (shared-memory serialization) until this cycle.
     busy_until: Vec<u64>,
+    /// Outstanding burst-retire issue credits per warp: a pure-ALU run
+    /// executes functionally in one shot and the timing model replays its
+    /// cycles by count (see DESIGN.md, "Predecoded interpreter").
+    burst: Vec<u32>,
+    /// Live lanes of each warp's in-flight burst, for per-cycle charge
+    /// accounting (instructions and lane-idle replay).
+    burst_lanes: Vec<u64>,
     rr: Vec<usize>,
     l1: Cache,
     mshr: Mshr,
@@ -59,6 +70,13 @@ struct Sm {
     /// The shared L1 load/store port is busy until this cycle (multi-block
     /// coalesced accesses occupy it for one cycle per transaction).
     lsu_busy_until: u64,
+    /// Row each warp is stalled on in the prefetch buffer (`u64::MAX` when
+    /// not stalled): while the row is not `Ready`, every retry recomputes
+    /// the same addresses and row only to stall again, so the scan replays
+    /// the stall (`demand_stalls += 1`) off this memo instead. The warp
+    /// cannot change while stalled (a stalling issue mutates nothing else),
+    /// so the memoized row stays exact.
+    wait_row: Vec<u64>,
     /// Block prefetcher state (non-row-oriented): next block to fetch.
     pf_next: u64,
     pf_end: u64,
@@ -107,6 +125,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     let row_bytes = layout.row_bytes;
     let total_rows = layout.total_rows();
     let program = workload.program.clone();
+    let decoded = DecodedProgram::of(&program);
     let image = workload.dataset.image.clone();
     let rm = ReconvergenceMap::compute(&program);
 
@@ -146,13 +165,17 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
             .map(|w| Warp::new(w * cfg.warp_width, cfg.warp_width))
             .collect(),
         outstanding: vec![0; num_warps],
+        outstanding_total: 0,
         busy_until: vec![0; num_warps],
+        burst: vec![0; num_warps],
+        burst_lanes: vec![0; num_warps],
         rr: vec![0; cfg.clusters()],
         threads,
         l1: Cache::new(cfg.l1_bytes, cfg.l1_assoc, cfg.l1_block),
         mshr: Mshr::new(cfg.mshrs),
         shared: SharedMemoryBanks::new(cfg.shared_banks),
         lsu_busy_until: 0,
+        wait_row: vec![u64::MAX; num_warps],
         pf_next: 0,
         pf_end: layout.total_bytes(),
         pf_degree,
@@ -195,12 +218,11 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
             let s = p.stats();
             s.prefetches + s.flow_blocks + s.premature_evictions
         });
-        let outstanding: u64 = sm.outstanding.iter().map(|&o| u64::from(o)).sum();
         stats.prefetches
             + stats.demand_fetches
             + sm.pf_next
             + sm.demand_block
-            + outstanding
+            + sm.outstanding_total
             + pbuf_sum
     };
 
@@ -229,7 +251,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                         cycle,
                         now,
                         cfg,
-                        &program,
+                        &decoded,
                         &image,
                         &rm,
                         row_bytes,
@@ -368,6 +390,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                         sm.l1.fill(comp.addr);
                         for waiter in sm.mshr.complete(comp.addr) {
                             sm.outstanding[waiter as usize] -= 1;
+                            sm.outstanding_total -= 1;
                         }
                     } else {
                         let slot = (comp.tag - TAG_PREFETCH_BASE) as usize;
@@ -513,8 +536,7 @@ fn pump_rows(
     stats: &mut CoreStats,
 ) {
     while mc.free_slots() > 0 {
-        let fetches = pbuf.take_fetches(1);
-        let Some(&(slot, row)) = fetches.first() else {
+        let Some((slot, row)) = pbuf.pop_fetch() else {
             break;
         };
         let req = Request {
@@ -569,7 +591,7 @@ fn cluster_tick(
     cycle: u64,
     now: TimePs,
     cfg: &GpgpuConfig,
-    program: &millipede_isa::Program,
+    decoded: &DecodedProgram,
     image: &millipede_mem::InputImage,
     rm: &ReconvergenceMap,
     row_bytes: u64,
@@ -582,9 +604,45 @@ fn cluster_tick(
     let clusters = cfg.clusters();
     let warps_in_cluster = cfg.num_warps() / clusters;
     for k in 0..warps_in_cluster {
-        let wi = cluster + clusters * ((sm.rr[cluster] + k) % warps_in_cluster);
+        // `rr + k < 2 × warps_in_cluster`, so conditional subtracts replace
+        // the hardware divides `%` would cost on this per-cycle path.
+        let mut slot = sm.rr[cluster] + k;
+        if slot >= warps_in_cluster {
+            slot -= warps_in_cluster;
+        }
+        let wi = cluster + clusters * slot;
         if sm.outstanding[wi] > 0 || sm.busy_until[wi] > cycle {
             continue;
+        }
+        // Charge one banked burst cycle before consulting the IPDOM stack:
+        // the run's instructions already executed (and its path may already
+        // have settled at reconvergence), so the stack must not be touched
+        // until every credit is repaid.
+        if sm.burst[wi] > 0 {
+            sm.burst[wi] -= 1;
+            stats.instructions += sm.burst_lanes[wi];
+            stats.issues += 1;
+            stats.lane_idle += cfg.warp_width as u64 - sm.burst_lanes[wi];
+            sm.rr[cluster] = if slot + 1 == warps_in_cluster {
+                0
+            } else {
+                slot + 1
+            };
+            return true;
+        }
+        if sm.wait_row[wi] != u64::MAX {
+            // Stalled on a prefetch-buffer row: the retry issues iff the
+            // row became ready (and the LSU port is free, mirroring the
+            // slow path's check order); otherwise replay the stall.
+            let ready = matches!(
+                pbuf.as_deref().map(|p| p.lookup(sm.wait_row[wi])),
+                Some(Lookup::Ready { .. })
+            );
+            if !ready || sm.lsu_busy_until > cycle {
+                stats.demand_stalls += 1;
+                continue;
+            }
+            sm.wait_row[wi] = u64::MAX;
         }
         let Some((pc, live)) = sm.warps[wi].current() else {
             continue;
@@ -597,7 +655,7 @@ fn cluster_tick(
             cycle,
             now,
             cfg,
-            program,
+            decoded,
             image,
             rm,
             row_bytes,
@@ -609,7 +667,11 @@ fn cluster_tick(
             if sm.warps[wi].done() {
                 *live_warps -= 1;
             }
-            sm.rr[cluster] = (sm.rr[cluster] + k + 1) % warps_in_cluster;
+            sm.rr[cluster] = if slot + 1 == warps_in_cluster {
+                0
+            } else {
+                slot + 1
+            };
             return true;
         }
     }
@@ -626,7 +688,7 @@ fn try_issue_warp(
     cycle: u64,
     now: TimePs,
     cfg: &GpgpuConfig,
-    program: &millipede_isa::Program,
+    decoded: &DecodedProgram,
     image: &millipede_mem::InputImage,
     rm: &ReconvergenceMap,
     row_bytes: u64,
@@ -635,72 +697,91 @@ fn try_issue_warp(
     mc: &mut MemoryController,
     stats: &mut CoreStats,
 ) -> bool {
-    let instr = *program.fetch(pc);
-    let lanes: Vec<usize> = sm.warps[wi].threads_of(live).collect();
+    // Lane sets come straight from the `live` mask: the hot arms (ALU,
+    // branch) walk its set bits with `trailing_zeros` and never materialize
+    // a lane list; the memory arms build stack buffers (warp width is at
+    // most 64 — heap allocations here dominated the wall-clock profile).
+    let first = sm.warps[wi].first_thread;
+    let lane_count = live.count_ones() as usize;
     debug_assert!(
-        lanes.iter().all(|&t| sm.threads[t].pc == pc),
+        sm.warps[wi]
+            .threads_of(live)
+            .all(|t| sm.threads[t].pc == pc),
         "warp threads out of sync"
     );
 
-    match instr {
-        Instr::Ld {
-            space: AddrSpace::Input,
-            ..
-        } => {
-            let addrs: Vec<u64> = lanes
-                .iter()
-                // audit:allow(unwrap-in-hot-path): lanes were selected at a memory access
-                .map(|&t| effective_access(&sm.threads[t], program).unwrap().addr)
-                .collect();
+    match decoded.access_class(pc) {
+        AccessClass::InputLoad => {
             if sm.lsu_busy_until > cycle {
                 // The L1 port is still draining a previous multi-block
-                // access; the warp retries next cycle.
+                // access; the warp retries next cycle (address computation
+                // is pure, so checking the port first is bit-exact).
                 stats.demand_stalls += 1;
                 return false;
             }
+            // Compute each lane's address once; the commit below reuses it
+            // instead of re-resolving the access.
+            let mut lanes_buf = [0usize; 64];
+            let mut addrs_buf = [0u64; 64];
+            let mut m = live;
+            let mut j = 0;
+            while m != 0 {
+                let t = first + m.trailing_zeros() as usize;
+                m &= m - 1;
+                lanes_buf[j] = t;
+                addrs_buf[j] = decoded.mem_addr_at(&sm.threads[t]);
+                j += 1;
+            }
+            let lanes = &lanes_buf[..lane_count];
+            let addrs = &addrs_buf[..lane_count];
             if let Some(pbuf) = pbuf {
                 // VWS-row: all of a warp's addresses fall in one row.
                 let row = addrs[0] / row_bytes;
                 debug_assert!(addrs.iter().all(|a| a / row_bytes == row));
                 match pbuf.lookup(row) {
                     Lookup::Ready { slot } => {
-                        for _ in &lanes {
+                        for _ in lanes {
                             pbuf.consume(slot, wi);
                         }
                         stats.pbuf_hits += lanes.len() as u64;
-                        exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+                        exec_lanes(wi, lanes, Some(addrs), sm, decoded, image, stats, cfg);
                         true
                     }
                     Lookup::Filling | Lookup::Future => {
+                        sm.wait_row[wi] = row;
                         stats.demand_stalls += 1;
                         false
                     }
                     Lookup::Evicted => unreachable!("flow control is on for VWS-row"),
                 }
             } else {
-                let blocks = coalesce_blocks(&addrs, cfg.l1_block);
+                let blocks = coalesce_blocks(addrs, cfg.l1_block);
                 if let Some(far) = blocks.iter().copied().max() {
                     sm.demand_block = sm.demand_block.max(far);
                 }
-                let missing: Vec<u64> = blocks
-                    .iter()
-                    .copied()
-                    .filter(|&b| !sm.l1.access(b))
-                    .collect();
-                if missing.is_empty() {
+                let mut missing_buf = [0u64; 64];
+                let mut missing_count = 0;
+                for &b in &blocks {
+                    if !sm.l1.access(b) {
+                        missing_buf[missing_count] = b;
+                        missing_count += 1;
+                    }
+                }
+                if missing_count == 0 {
                     // Each additional coalesced transaction occupies the
                     // shared L1 port for another cycle — the cost of an
                     // uncoalesceable layout (§IV-C).
                     if blocks.len() > 1 {
                         sm.lsu_busy_until = cycle + blocks.len() as u64 - 1;
                     }
-                    exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+                    exec_lanes(wi, lanes, Some(addrs), sm, decoded, image, stats, cfg);
                     return true;
                 }
-                for block in missing {
+                for &block in &missing_buf[..missing_count] {
                     if sm.mshr.pending(block) {
                         sm.mshr.allocate(block, wi as u64);
                         sm.outstanding[wi] += 1;
+                        sm.outstanding_total += 1;
                     } else if !sm.mshr.is_full() && mc.free_slots() > 0 {
                         let req = Request {
                             addr: block,
@@ -710,6 +791,7 @@ fn try_issue_warp(
                         if mc.try_push(req, now).is_ok() {
                             sm.mshr.allocate(block, wi as u64);
                             sm.outstanding[wi] += 1;
+                            sm.outstanding_total += 1;
                             stats.demand_fetches += 1;
                         }
                     }
@@ -718,43 +800,52 @@ fn try_issue_warp(
                 false
             }
         }
-        Instr::Ld {
-            space: AddrSpace::Local,
-            ..
-        }
-        | Instr::St { .. } => {
+        AccessClass::LocalLoad | AccessClass::LocalStore => {
             // Shared memory: per-thread state striped so lane i's words live
             // in bank i — conflict-free for these kernels, but the banking
-            // model is consulted for generality and energy accounting.
-            let bank_addrs: Vec<u64> = lanes
-                .iter()
-                .map(|&t| {
-                    // audit:allow(unwrap-in-hot-path): lanes were selected at a memory access
-                    let a = effective_access(&sm.threads[t], program).unwrap().addr;
-                    (a / 4) * (cfg.shared_banks as u64 * 4)
-                        + (t as u64 % cfg.shared_banks as u64) * 4
-                })
-                .collect();
-            let passes = sm.shared.conflict_passes(&bank_addrs).max(1) as u64;
+            // model is consulted for generality and energy accounting. Each
+            // lane's address is computed once and reused by the commit.
+            let mut lanes_buf = [0usize; 64];
+            let mut addrs_buf = [0u64; 64];
+            let mut bank_buf = [0u64; 64];
+            let mut m = live;
+            let mut j = 0;
+            while m != 0 {
+                let t = first + m.trailing_zeros() as usize;
+                m &= m - 1;
+                let a = decoded.mem_addr_at(&sm.threads[t]);
+                lanes_buf[j] = t;
+                addrs_buf[j] = a;
+                bank_buf[j] = (a / 4) * (cfg.shared_banks as u64 * 4)
+                    + (t as u64 % cfg.shared_banks as u64) * 4;
+                j += 1;
+            }
+            let lanes = &lanes_buf[..lane_count];
+            let addrs = &addrs_buf[..lane_count];
+            let passes = sm.shared.conflict_passes(&bank_buf[..lane_count]).max(1) as u64;
             if passes > 1 {
                 sm.busy_until[wi] = cycle + passes - 1;
             }
-            exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+            exec_lanes(wi, lanes, Some(addrs), sm, decoded, image, stats, cfg);
             true
         }
-        Instr::Br { .. } => {
+        AccessClass::Branch => {
             let mut taken_mask = 0u64;
             let mut nt_mask = 0u64;
             let mut target = 0u32;
-            let first = sm.warps[wi].first_thread;
-            for &t in &lanes {
-                let effect = step(&mut sm.threads[t], program, image)
+            let mut m = live;
+            while m != 0 {
+                let i = m.trailing_zeros();
+                m &= m - 1;
+                let t = first + i as usize;
+                let effect = decoded
+                    .commit(&mut sm.threads[t], image)
                     .unwrap_or_else(|trap| panic!("kernel trap thread {t}: {trap}"));
                 stats.instructions += 1;
                 stats.branches += 1;
                 match effect {
                     StepEffect::Branch { taken } => {
-                        let bit = 1u64 << (t - first);
+                        let bit = 1u64 << i;
                         if taken {
                             taken_mask |= bit;
                             target = sm.threads[t].pc;
@@ -766,7 +857,7 @@ fn try_issue_warp(
                 }
             }
             stats.issues += 1;
-            stats.lane_idle += (cfg.warp_width - lanes.len()) as u64;
+            stats.lane_idle += (cfg.warp_width - lane_count) as u64;
             if nt_mask == 0 {
                 sm.warps[wi].advance_to(target);
             } else if taken_mask == 0 {
@@ -777,20 +868,66 @@ fn try_issue_warp(
             }
             true
         }
-        _ => {
-            exec_lanes(wi, &lanes, sm, program, image, stats, cfg);
+        AccessClass::Alu => {
+            // Pure-ALU run: execute it for every lane now and bank the
+            // remaining cycles as per-warp issue credits (replay-by-count).
+            // The run is capped at the path's reconvergence PC so the IPDOM
+            // stack settles exactly where cycle-by-cycle execution would.
+            let mut cap = decoded.run_len(pc);
+            if let Some(r) = sm.warps[wi].current_reconv() {
+                if r > pc {
+                    cap = cap.min(r - pc);
+                }
+            }
+            let mut n = 1;
+            let mut m = live;
+            while m != 0 {
+                let t = first + m.trailing_zeros() as usize;
+                m &= m - 1;
+                n = decoded.burst_retire(&mut sm.threads[t], cap);
+            }
+            sm.warps[wi].advance_to(pc + n);
+            sm.burst[wi] = n - 1;
+            sm.burst_lanes[wi] = lane_count as u64;
+            stats.instructions += lane_count as u64;
+            stats.issues += 1;
+            stats.lane_idle += (cfg.warp_width - lane_count) as u64;
+            true
+        }
+        AccessClass::Jump | AccessClass::Barrier | AccessClass::Halt => {
+            let mut lanes_buf = [0usize; 64];
+            let mut m = live;
+            let mut j = 0;
+            while m != 0 {
+                lanes_buf[j] = first + m.trailing_zeros() as usize;
+                m &= m - 1;
+                j += 1;
+            }
+            exec_lanes(
+                wi,
+                &lanes_buf[..lane_count],
+                None,
+                sm,
+                decoded,
+                image,
+                stats,
+                cfg,
+            );
             true
         }
     }
 }
 
-/// Steps every selected lane through one (non-branch) instruction and
-/// advances the warp.
+/// Commits one (non-branch) instruction on every selected lane and advances
+/// the warp. `addrs`, when given, carries each lane's already-computed
+/// memory address so the commit does not re-resolve it.
+#[allow(clippy::too_many_arguments)]
 fn exec_lanes(
     wi: usize,
     lanes: &[usize],
+    addrs: Option<&[u64]>,
     sm: &mut Sm,
-    program: &millipede_isa::Program,
+    decoded: &DecodedProgram,
     image: &millipede_mem::InputImage,
     stats: &mut CoreStats,
     cfg: &GpgpuConfig,
@@ -798,9 +935,12 @@ fn exec_lanes(
     let first = sm.warps[wi].first_thread;
     let mut next_pc = None;
     let mut any_live = false;
-    for &t in lanes {
-        let effect = step(&mut sm.threads[t], program, image)
-            .unwrap_or_else(|trap| panic!("kernel trap thread {t}: {trap}"));
+    for (j, &t) in lanes.iter().enumerate() {
+        let committed = match addrs {
+            Some(a) => decoded.commit_mem_at(&mut sm.threads[t], a[j], image),
+            None => decoded.commit(&mut sm.threads[t], image),
+        };
+        let effect = committed.unwrap_or_else(|trap| panic!("kernel trap thread {t}: {trap}"));
         stats.instructions += 1;
         match effect {
             StepEffect::InputLoad { .. } => stats.input_loads += 1,

@@ -131,6 +131,13 @@ impl Warp {
         });
     }
 
+    /// Reconvergence PC of the current (top) path, if any. Execution past
+    /// this PC must not be batched: the path settles there and hands the
+    /// warp to its sibling.
+    pub fn current_reconv(&self) -> Option<u32> {
+        self.stack.last().and_then(|f| f.reconv)
+    }
+
     /// Current stack depth (diagnostics).
     pub fn stack_depth(&self) -> usize {
         self.stack.len()

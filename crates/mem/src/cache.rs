@@ -40,11 +40,23 @@ struct Line {
 }
 
 /// An LRU set-associative cache over fixed-size blocks.
+///
+/// The tag array is one flat set-major line vector and set selection avoids
+/// the hardware divide (power-of-two block shift, multiply-based modulo):
+/// the cache is probed on every demand access *and* every prefetch-window
+/// check of every core on every simulated cycle, which makes these probes
+/// one of the hottest paths in the whole simulator.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    /// `num_sets × assoc` lines, set-major.
+    lines: Vec<Line>,
+    assoc: usize,
     block_bytes: u64,
+    /// `log2(block_bytes)`: block index = `addr >> block_shift`.
+    block_shift: u32,
     num_sets: u64,
+    /// Lemire magic for `x % num_sets` without a divide: `⌊2^64/n⌋ + 1`.
+    mod_magic: u64,
     tick: u64,
     stats: CacheStats,
 }
@@ -66,19 +78,19 @@ impl Cache {
         );
         let num_sets = capacity_bytes / set_bytes;
         Cache {
-            sets: vec![
-                vec![
-                    Line {
-                        tag: 0,
-                        valid: false,
-                        lru: 0
-                    };
-                    assoc
-                ];
-                num_sets as usize
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    lru: 0
+                };
+                num_sets as usize * assoc
             ],
+            assoc,
             block_bytes,
+            block_shift: block_bytes.trailing_zeros(),
             num_sets,
+            mod_magic: (u64::MAX / num_sets).wrapping_add(1),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -101,9 +113,28 @@ impl Cache {
         // stream, whose addresses step by the 2 KB row) spread across sets
         // instead of thrashing one. Plain modulo indexing would map every
         // such block to a single set.
-        let idx = block / self.block_bytes;
+        let idx = block >> self.block_shift;
         let folded = idx ^ (idx >> 5) ^ (idx >> 10) ^ (idx >> 15);
-        (folded % self.num_sets) as usize
+        // Lemire's multiply-based remainder, exact for 32-bit operands (the
+        // simulated datasets keep folded block indices far below 2^32; the
+        // divide fallback keeps correctness independent of that).
+        if folded <= u64::from(u32::MAX) && self.num_sets <= u64::from(u32::MAX) {
+            let low = self.mod_magic.wrapping_mul(folded);
+            ((u128::from(low) * u128::from(self.num_sets)) >> 64) as usize
+        } else {
+            (folded % self.num_sets) as usize
+        }
+    }
+
+    /// The `assoc` lines of one set.
+    #[inline]
+    fn set(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.assoc..(set + 1) * self.assoc]
+    }
+
+    #[inline]
+    fn set_mut(&mut self, set: usize) -> &mut [Line] {
+        &mut self.lines[set * self.assoc..(set + 1) * self.assoc]
     }
 
     /// Demand access for the block containing `addr`. Returns `true` on hit
@@ -114,7 +145,8 @@ impl Cache {
         let set = self.set_of(block);
         self.tick += 1;
         let tick = self.tick;
-        if let Some(line) = self.sets[set]
+        if let Some(line) = self
+            .set_mut(set)
             .iter_mut()
             .find(|l| l.valid && l.tag == block)
         {
@@ -127,11 +159,26 @@ impl Cache {
         }
     }
 
+    /// Recounts one demand miss without probing the tag array.
+    ///
+    /// This is the stalled-retry fast path: a context stalled on an
+    /// in-flight fill re-probes its block every cycle, and each such probe
+    /// is a guaranteed miss that updates nothing but the miss counter (a
+    /// miss writes no LRU state, and the internal tick only orders LRU
+    /// writes relative to each other, so skipping its increment is
+    /// unobservable). Callers must guarantee the block is absent — i.e.
+    /// its fill is still pending — or the statistics diverge from a real
+    /// probe.
+    #[inline]
+    pub fn recount_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
     /// Whether the block containing `addr` is resident (no LRU/stat update).
     pub fn contains(&self, addr: u64) -> bool {
         let block = self.block_of(addr);
         let set = self.set_of(block);
-        self.sets[set].iter().any(|l| l.valid && l.tag == block)
+        self.set(set).iter().any(|l| l.valid && l.tag == block)
     }
 
     /// Fills the block containing `addr`, evicting the LRU line if needed.
@@ -142,7 +189,8 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         self.stats.fills += 1;
-        if let Some(line) = self.sets[set]
+        if let Some(line) = self
+            .set_mut(set)
             .iter_mut()
             .find(|l| l.valid && l.tag == block)
         {
@@ -150,19 +198,20 @@ impl Cache {
             line.lru = tick;
             return None;
         }
-        let victim = self.sets[set]
+        let assoc = self.assoc;
+        let victim = self.lines[set * assoc..(set + 1) * assoc]
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("non-zero associativity"); // audit:allow(unwrap-in-hot-path): associativity is validated > 0 at construction
         let evicted = victim.valid.then_some(victim.tag);
-        if evicted.is_some() {
-            self.stats.evictions += 1;
-        }
         *victim = Line {
             tag: block,
             valid: true,
             lru: tick,
         };
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
         evicted
     }
 

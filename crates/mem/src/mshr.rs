@@ -5,8 +5,6 @@
 //! trigger bits ("The PFT bit prevents later demand accesses from triggering
 //! redundant prefetches, similar to traditional MSHRs", §IV-C).
 
-use std::collections::BTreeMap;
-
 /// Result of allocating a miss in the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -20,9 +18,18 @@ pub enum MshrOutcome {
 
 /// An MSHR file keyed by block base address. Waiters are opaque `u64` ids
 /// (thread/context identifiers chosen by the architecture model).
+///
+/// MSHR files are a handful of entries (Table III: 4 per core), and
+/// `pending` is probed by every stalled context and every prefetch-window
+/// check on every simulated cycle, so the file is two parallel vectors
+/// scanned linearly — the block keys stay in one cache line, which beats
+/// any tree or hash layout at this size.
 #[derive(Debug, Clone)]
 pub struct Mshr {
-    entries: BTreeMap<u64, Vec<u64>>,
+    /// In-flight block base addresses (unordered).
+    blocks: Vec<u64>,
+    /// `waiters[i]` are the waiters for `blocks[i]`.
+    waiters: Vec<Vec<u64>>,
     capacity: usize,
 }
 
@@ -31,57 +38,72 @@ impl Mshr {
     pub fn new(capacity: usize) -> Mshr {
         assert!(capacity > 0);
         Mshr {
-            entries: BTreeMap::new(),
+            blocks: Vec::with_capacity(capacity),
+            waiters: Vec::with_capacity(capacity),
             capacity,
         }
     }
 
+    #[inline]
+    fn index_of(&self, block: u64) -> Option<usize> {
+        self.blocks.iter().position(|&b| b == block)
+    }
+
     /// Records a miss on `block` by `waiter`.
     pub fn allocate(&mut self, block: u64, waiter: u64) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(&block) {
-            waiters.push(waiter);
+        if let Some(i) = self.index_of(block) {
+            self.waiters[i].push(waiter);
             return MshrOutcome::Secondary;
         }
-        if self.entries.len() >= self.capacity {
+        if self.blocks.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.insert(block, vec![waiter]);
+        self.blocks.push(block);
+        self.waiters.push(vec![waiter]);
         MshrOutcome::Primary
     }
 
     /// Records an in-flight *prefetch* for `block` (no waiter yet). Returns
     /// false when the block is already pending or the file is full.
     pub fn allocate_prefetch(&mut self, block: u64) -> bool {
-        if self.entries.contains_key(&block) || self.entries.len() >= self.capacity {
+        if self.index_of(block).is_some() || self.blocks.len() >= self.capacity {
             return false;
         }
-        self.entries.insert(block, Vec::new());
+        self.blocks.push(block);
+        self.waiters.push(Vec::new());
         true
     }
 
     /// Whether a fill for `block` is already in flight.
+    #[inline]
     pub fn pending(&self, block: u64) -> bool {
-        self.entries.contains_key(&block)
+        self.index_of(block).is_some()
     }
 
     /// Completes the fill for `block`, returning its waiters.
     pub fn complete(&mut self, block: u64) -> Vec<u64> {
-        self.entries.remove(&block).unwrap_or_default()
+        match self.index_of(block) {
+            Some(i) => {
+                self.blocks.swap_remove(i);
+                self.waiters.swap_remove(i)
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Number of in-flight entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.blocks.len()
     }
 
     /// Whether no fills are in flight.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.blocks.is_empty()
     }
 
     /// Whether a new block allocation would fail.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.blocks.len() >= self.capacity
     }
 }
 

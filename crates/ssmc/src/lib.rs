@@ -25,12 +25,10 @@
 use millipede_core::NodeResult;
 use millipede_dram::{DramGeometry, DramTiming};
 use millipede_dram::{MemoryController, Request, TimePs};
-use millipede_engine::step::effective_access;
 use millipede_engine::{
-    period_ps_for_mhz, step, Arena2, CoreStats, DualClock, Edge, EventWheel, FlagGrid,
-    SchedulerKind, StepEffect, ThreadCtx,
+    period_ps_for_mhz, AccessClass, Arena2, CoreStats, DecodedProgram, DualClock, Edge, EventWheel,
+    FlagGrid, SchedulerKind, StepEffect, ThreadCtx,
 };
-use millipede_isa::AddrSpace;
 use millipede_mapreduce::ThreadGrid;
 use millipede_mem::{Cache, Mshr};
 use millipede_telemetry::{Telemetry, TelemetryConfig};
@@ -123,11 +121,28 @@ impl SlabPrefetcher {
     }
 }
 
+/// Why a core's prefetch pump is parked (pure memoization: a parked pump
+/// is one whose probes provably could not issue anything, so re-running it
+/// would change no state — see `pump_prefetch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PfPark {
+    /// Probing could issue a prefetch; run the pump.
+    Ready,
+    /// Blocked on MSHR or DRAM-queue space. Both only free on a channel
+    /// edge (a fill completes, or the controller issues a CAS and pops the
+    /// request from its queue), which unparks every `Resource` core.
+    Resource,
+    /// Lookahead window exhausted: nothing to prefetch until `demand_row`
+    /// reaches the stored row (`u64::MAX` once the stream has ended).
+    Window(u64),
+}
+
 struct Core {
     rr: usize,
     l1: Cache,
     mshr: Mshr,
     pf: SlabPrefetcher,
+    pf_parked: PfPark,
     /// Highest row any of this core's contexts has demanded.
     demand_row: u64,
 }
@@ -139,6 +154,19 @@ struct Threads {
     t: Arena2<ThreadCtx>,
     done: FlagGrid,
     stalled: FlagGrid,
+    /// Outstanding burst-retire issue credits per context: a pure-ALU run
+    /// executes functionally in one shot and the timing model replays its
+    /// cycles by count (see DESIGN.md, "Predecoded interpreter").
+    burst: Arena2<u32>,
+    /// Stalled on an *in-flight* fill: every scan visit is then a
+    /// guaranteed re-miss that changes nothing but the L1 miss counter, so
+    /// the scan replays it via [`Cache::recount_miss`] instead of probing.
+    /// Cleared by the channel arm when the fill for [`Threads::stall_block`]
+    /// lands (after which the slow path handles hit — or re-miss, if the
+    /// block was evicted before the context rescanned — exactly as before).
+    stall_fast: FlagGrid,
+    /// Block base the context is stalled on (valid while `stall_fast`).
+    stall_block: Arena2<u64>,
 }
 
 /// Wheel-mode deep-sleep record: everything needed to replay the skipped
@@ -183,6 +211,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
     );
     let total_rows = layout.total_rows();
     let program = workload.program.clone();
+    let decoded = DecodedProgram::of(&program);
     let image = workload.dataset.image.clone();
 
     // Input share of the L1: whatever the live state leaves, rounded down
@@ -209,6 +238,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                 end_row: total_rows,
                 degree,
             },
+            pf_parked: PfPark::Ready,
             demand_row: 0,
         })
         .collect();
@@ -218,7 +248,15 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         }),
         done: FlagGrid::new(cfg.cores, cfg.contexts),
         stalled: FlagGrid::new(cfg.cores, cfg.contexts),
+        burst: Arena2::from_fn(cfg.cores, cfg.contexts, |_, _| 0u32),
+        stall_fast: FlagGrid::new(cfg.cores, cfg.contexts),
+        stall_block: Arena2::from_fn(cfg.cores, cfg.contexts, |_, _| 0u64),
     };
+    // Row division is on the demand-probe path; layouts use power-of-two
+    // rows in practice, so hoist the shift (divide fallback otherwise).
+    let row_shift: Option<u32> = row_bytes
+        .is_power_of_two()
+        .then(|| row_bytes.trailing_zeros());
 
     let mut mc = MemoryController::with_capacity(cfg.geometry, cfg.timing, cfg.dram_queue);
     let mut wheel = EventWheel::new(
@@ -274,8 +312,9 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                         c,
                         now,
                         cfg,
-                        &program,
+                        &decoded,
                         &image,
+                        row_shift,
                         row_bytes,
                         slab_bytes,
                         &mut threads,
@@ -381,6 +420,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                     }
                 }
                 last_time = now;
+                let free_before = mc.free_slots();
                 mc.tick(now);
                 let completions = mc.pop_completed(now);
                 let fills = completions.len();
@@ -394,10 +434,28 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                             (comp.addr / row_bytes) as f64,
                         );
                     }
-                    let core = &mut cores[comp.tag as usize];
+                    let ci = comp.tag as usize;
+                    let core = &mut cores[ci];
                     let block = comp.addr;
                     core.l1.fill(block);
                     core.mshr.complete(block);
+                    // The fill ends the guaranteed-re-miss regime for any
+                    // context stalled on this block (see `Threads::stall_fast`).
+                    for x in 0..cfg.contexts {
+                        if threads.stall_fast.get(ci, x) && *threads.stall_block.get(ci, x) == block
+                        {
+                            threads.stall_fast.set(ci, x, false);
+                        }
+                    }
+                }
+                // A fill frees an MSHR and a CAS issue frees a queue slot;
+                // either can unblock a resource-parked prefetch pump.
+                if fills > 0 || mc.free_slots() > free_before {
+                    for core in &mut cores {
+                        if core.pf_parked == PfPark::Resource {
+                            core.pf_parked = PfPark::Ready;
+                        }
+                    }
                 }
                 if wheel.is_sleeping() {
                     // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
@@ -512,8 +570,9 @@ fn core_tick(
     c: usize,
     now: TimePs,
     cfg: &SsmcConfig,
-    program: &millipede_isa::Program,
+    decoded: &DecodedProgram,
     image: &millipede_mem::InputImage,
+    row_shift: Option<u32>,
     row_bytes: u64,
     slab_bytes: u64,
     threads: &mut Threads,
@@ -531,20 +590,44 @@ fn core_tick(
         return false;
     }
     for k in 0..cfg.contexts {
-        let x = (cores[c].rr + k) % cfg.contexts;
+        // `rr + k < 2 × contexts`, so a conditional subtract replaces the
+        // hardware divide a `%` would cost on this per-cycle path.
+        let mut x = cores[c].rr + k;
+        if x >= cfg.contexts {
+            x -= cfg.contexts;
+        }
         if threads.done.get(c, x) {
             continue;
         }
-        let input_addr = match effective_access(threads.t.get(c, x), program) {
-            Some(ea) if ea.space == AddrSpace::Input => Some(ea.addr),
-            _ => None,
-        };
-        if let Some(addr) = input_addr {
+        if threads.stall_fast.get(c, x) {
+            // Stalled on an in-flight fill: the full probe would recount
+            // one L1 miss and change nothing else, so replay just that.
+            cores[c].l1.recount_miss();
+            continue;
+        }
+        // Charge one banked burst cycle: the instructions already executed
+        // functionally, so the context always issues until credits drain.
+        {
+            let credits = threads.burst.get_mut(c, x);
+            if *credits > 0 {
+                *credits -= 1;
+                stats.instructions += 1;
+                stats.issues += 1;
+                cores[c].rr = if x + 1 == cfg.contexts { 0 } else { x + 1 };
+                return true;
+            }
+        }
+        if decoded.access_class(threads.t.get(c, x).pc) == AccessClass::InputLoad {
+            let addr = decoded.mem_addr_at(threads.t.get(c, x));
             let core = &mut cores[c];
-            core.demand_row = core.demand_row.max(addr / row_bytes);
+            let drow = match row_shift {
+                Some(s) => addr >> s,
+                None => addr / row_bytes,
+            };
+            core.demand_row = core.demand_row.max(drow);
             if core.l1.access(addr) {
-                commit(c, x, threads, program, image, stats, halted);
-                cores[c].rr = (x + 1) % cfg.contexts;
+                commit(c, x, threads, decoded, image, stats, halted, Some(addr));
+                cores[c].rr = if x + 1 == cfg.contexts { 0 } else { x + 1 };
                 return true;
             }
             // Miss: merge into an in-flight fill or start a demand fetch.
@@ -564,10 +647,16 @@ fn core_tick(
                 threads.stalled.set(c, x, true);
                 stats.demand_stalls += 1;
             }
+            if core.mshr.pending(block) {
+                // Fill in flight (just allocated, merged, or a racing
+                // prefetch): retries are pure re-misses until it lands.
+                threads.stall_fast.set(c, x, true);
+                *threads.stall_block.get_mut(c, x) = block;
+            }
             continue;
         }
-        commit(c, x, threads, program, image, stats, halted);
-        cores[c].rr = (x + 1) % cfg.contexts;
+        commit(c, x, threads, decoded, image, stats, halted, None);
+        cores[c].rr = if x + 1 == cfg.contexts { 0 } else { x + 1 };
         return true;
     }
     false
@@ -585,15 +674,34 @@ fn pump_prefetch(
     stats: &mut CoreStats,
 ) {
     let core = &mut cores[c];
+    // Parked pumps are provably no-ops (the park reason still holds), so
+    // skip their probes entirely — bit-exact by construction.
+    match core.pf_parked {
+        PfPark::Resource => return,
+        PfPark::Window(need) if core.demand_row < need => return,
+        _ => core.pf_parked = PfPark::Ready,
+    }
     let demand_row = core.demand_row;
-    while let Some(row) = core.pf.wanted(demand_row) {
+    loop {
+        let Some(row) = core.pf.wanted(demand_row) else {
+            // Window exhausted: park until the demand cursor catches up
+            // (forever, once the stream has ended — `wanted` can then
+            // never fire again regardless of `demand_row`).
+            core.pf_parked = PfPark::Window(if core.pf.next_row >= core.pf.end_row {
+                u64::MAX
+            } else {
+                core.pf.next_row.saturating_sub(core.pf.degree)
+            });
+            return;
+        };
         let block = row * row_bytes + c as u64 * slab_bytes;
         if core.l1.contains(block) || core.mshr.pending(block) {
             core.pf.advance();
             continue;
         }
         if core.mshr.is_full() || mc.free_slots() == 0 {
-            break;
+            core.pf_parked = PfPark::Resource;
+            return;
         }
         let req = Request {
             addr: block,
@@ -601,7 +709,8 @@ fn pump_prefetch(
             tag: c as u64,
         };
         if mc.try_push(req, now).is_err() {
-            break;
+            core.pf_parked = PfPark::Resource;
+            return;
         }
         core.mshr.allocate_prefetch(block);
         core.pf.advance();
@@ -609,18 +718,33 @@ fn pump_prefetch(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn commit(
     c: usize,
     x: usize,
     threads: &mut Threads,
-    program: &millipede_isa::Program,
+    decoded: &DecodedProgram,
     image: &millipede_mem::InputImage,
     stats: &mut CoreStats,
     halted: &mut usize,
+    mem_addr: Option<u64>,
 ) {
     threads.stalled.set(c, x, false);
-    let effect = step(threads.t.get_mut(c, x), program, image)
-        .unwrap_or_else(|trap| panic!("kernel trap on core {c} ctx {x}: {trap}"));
+    let ctx = threads.t.get_mut(c, x);
+    if decoded.run_len(ctx.pc) > 0 {
+        // Pure-ALU run: execute it all now, bank the remaining cycles as
+        // issue credits so the timing schedule is unchanged.
+        let n = decoded.burst_retire(ctx, u32::MAX);
+        *threads.burst.get_mut(c, x) = n - 1;
+        stats.instructions += 1;
+        stats.issues += 1;
+        return;
+    }
+    let committed = match mem_addr {
+        Some(addr) => decoded.commit_mem_at(ctx, addr, image),
+        None => decoded.commit(ctx, image),
+    };
+    let effect = committed.unwrap_or_else(|trap| panic!("kernel trap on core {c} ctx {x}: {trap}"));
     stats.instructions += 1;
     stats.issues += 1;
     match effect {

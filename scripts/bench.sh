@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_7.json: the fixed poll-vs-wheel scheduler sweep
-# (schema millipede-bench/1; see EXPERIMENTS.md, "Scheduler wall-clock
-# benchmarks"). The sweep is deterministic — fixed points, fixed seeds,
-# median of three in-process runs per engine — so regenerating the file
-# changes only the measured wall-times, never the shape, and the binary
-# exits nonzero if the two schedulers ever disagree on a digest.
+# Regenerates BENCH_8.json: the fixed poll-vs-wheel scheduler sweep
+# (schema millipede-bench/2; see EXPERIMENTS.md, "Scheduler wall-clock
+# benchmarks"), measured against the checked-in pre-predecode baseline
+# BENCH_7.json when it is present. The sweep is deterministic — fixed
+# points, fixed seeds, median of five in-process runs per engine — so
+# regenerating the file changes only the measured wall-times, never the
+# shape, and the binary exits nonzero if the two schedulers ever disagree
+# on a digest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --offline --release --workspace
-./target/release/millipede-bench --runs 3 --out BENCH_7.json
+baseline=()
+if [ -f BENCH_7.json ]; then
+    baseline=(--baseline BENCH_7.json)
+fi
+./target/release/millipede-bench --runs 5 "${baseline[@]}" --out BENCH_8.json

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Drives every .asm file in a directory (default: tests/fixtures) through
+# the full standalone-kernel toolchain:
+#
+#   1. millipede-cli verify  — static analysis (non-fatal: the fixture
+#      corpus deliberately contains seeded-bug programs),
+#   2. millipede-cli disasm  — the canonical listing must round-trip
+#      through the assembler (fatal: a file that cannot re-assemble is a
+#      toolchain bug),
+#   3. millipede-cli run     — functional execution on the predecoded
+#      engine (traps are reported but non-fatal for the same reason as
+#      verify; the differential suite pins their exact semantics).
+#
+# Usage: scripts/run_examples.sh [directory]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+dir="${1:-tests/fixtures}"
+if [ ! -d "$dir" ]; then
+    echo "error: $dir is not a directory" >&2
+    exit 2
+fi
+shopt -s nullglob
+files=("$dir"/*.asm)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "error: no .asm files in $dir" >&2
+    exit 2
+fi
+
+cargo build --offline --release --workspace
+cli=./target/release/millipede-cli
+
+total=0 verified=0 ran=0 trapped=0
+for f in "${files[@]}"; do
+    total=$((total + 1))
+    echo "==> $f"
+
+    if "$cli" verify "$f"; then
+        verified=$((verified + 1))
+    fi
+
+    # Disassembly must succeed and its output must re-assemble: pipe the
+    # canonical listing straight back into the assembler via a second
+    # disasm. Any failure here is fatal.
+    listing="$("$cli" disasm "$f")" || exit 1
+    echo "$listing" | "$cli" disasm /dev/stdin > /dev/null || exit 1
+
+    # Functional execution: the step limit keeps seeded-livelock fixtures
+    # bounded (they end in a StepLimit trap, which counts as trapped).
+    if "$cli" run "$f" --step-limit 100000; then
+        ran=$((ran + 1))
+    else
+        status=$?
+        if [ "$status" -ge 2 ]; then
+            exit "$status"
+        fi
+        trapped=$((trapped + 1))
+    fi
+done
+
+echo
+echo "run_examples: $total programs — $verified verified clean, \
+$ran ran to halt, $trapped trapped"

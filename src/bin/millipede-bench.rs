@@ -2,10 +2,16 @@
 //!
 //! Runs every point of a fixed sweep under both main-loop schedulers
 //! (`poll` and `wheel`), checks their determinism digests agree, and
-//! writes per-point wall-times as JSON in the `millipede-bench/1` schema
+//! writes per-point wall-times as JSON in the `millipede-bench/2` schema
 //! (documented in EXPERIMENTS.md). The sweep itself is deterministic —
 //! fixed points, fixed seeds, median of N runs — so regenerating the
 //! file changes only the measured times, never the shape.
+//!
+//! `--baseline FILE` points at a previous sweep (`millipede-bench/1` or
+//! `/2`); every current point whose label appears there additionally
+//! reports the baseline medians and the wall-clock speedup against them,
+//! which is how the predecoded-interpreter PR documents its win over the
+//! BENCH_7 numbers.
 //!
 //! The designated idle-heavy point (a bandwidth-starved Millipede node:
 //! 8-bit DRAM channel, one context per corelet, so every row takes ~4×
@@ -16,7 +22,7 @@
 //! comparison is apples-to-apples.
 //!
 //! ```text
-//! millipede-bench [--runs N] [--out FILE]
+//! millipede-bench [--runs N] [--out FILE] [--baseline FILE]
 //! ```
 
 use millipede::core_arch::{self, MillipedeConfig, NodeResult};
@@ -34,7 +40,7 @@ struct Point {
     chunks: usize,
 }
 
-const POINTS: [Point; 5] = [
+const POINTS: [Point; 7] = [
     Point {
         label: "millipede-count",
         arch: Arch::Millipede,
@@ -68,6 +74,23 @@ const POINTS: [Point; 5] = [
         arch: Arch::Gpgpu,
         arch_name: "gpgpu",
         bench: Benchmark::Variance,
+        chunks: 64,
+    },
+    // Compute-heavy points: GDA and k-means spend most retired
+    // instructions in straight-line ALU runs, so they are where the
+    // predecoded interpreter's burst retire shows up.
+    Point {
+        label: "ssmc-gda",
+        arch: Arch::Ssmc,
+        arch_name: "ssmc",
+        bench: Benchmark::Gda,
+        chunks: 64,
+    },
+    Point {
+        label: "vws-row-kmeans",
+        arch: Arch::VwsRow,
+        arch_name: "vws-row",
+        bench: Benchmark::Kmeans,
         chunks: 64,
     },
 ];
@@ -156,10 +179,34 @@ fn fmt_ms_list(ms: &[f64]) -> String {
     format!("[{}]", items.join(", "))
 }
 
+/// Extracts `(poll_median_ms, wheel_median_ms)` for the point labelled
+/// `label` from a prior sweep's JSON text. The bench files are written by
+/// this binary in a fixed shape, so a targeted scan (find the label, read
+/// the two keys before the next label) is all the parsing needed — the
+/// workspace deliberately has no JSON dependency.
+fn baseline_medians(doc: &str, label: &str) -> Option<(f64, f64)> {
+    let needle = format!("\"label\": \"{label}\"");
+    let start = doc.find(&needle)?;
+    let scope_all = &doc[start + needle.len()..];
+    let scope_end = scope_all.find("\"label\":").unwrap_or(scope_all.len());
+    let scope = &scope_all[..scope_end];
+    let grab = |key: &str| -> Option<f64> {
+        let k = format!("\"{key}\":");
+        let tail = scope[scope.find(&k)? + k.len()..].trim_start();
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        num.parse().ok()
+    };
+    Some((grab("poll_median_ms")?, grab("wheel_median_ms")?))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut runs = 3usize;
     let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -178,15 +225,29 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
-                    "unknown flag `{other}` (usage: millipede-bench [--runs N] [--out FILE])"
+                    "unknown flag `{other}` (usage: millipede-bench [--runs N] [--out FILE] \
+                     [--baseline FILE])"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+    let baseline_doc: Option<String> = baseline_path.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("{p}: {e}");
+            std::process::exit(2);
+        })
+    });
 
     let mut entries: Vec<String> = Vec::new();
     let mut all_match = true;
@@ -199,12 +260,27 @@ fn main() {
         let poll_med = median(&poll_ms);
         let wheel_med = median(&wheel_ms);
         let speedup = poll_med / wheel_med;
+        let baseline = baseline_doc
+            .as_deref()
+            .and_then(|doc| baseline_medians(doc, p.label));
+        let baseline_fields = match baseline {
+            Some((bp, bw)) => format!(
+                "      \"baseline_poll_median_ms\": {bp:.3},\n      \
+                 \"baseline_wheel_median_ms\": {bw:.3},\n      \
+                 \"speedup_vs_baseline_poll\": {:.3},\n      \
+                 \"speedup_vs_baseline_wheel\": {:.3},\n",
+                bp / poll_med,
+                bw / wheel_med,
+            ),
+            None => String::new(),
+        };
         entries.push(format!(
             "    {{\n      \"label\": \"{}\",\n      \"arch\": \"{}\",\n      \
              \"bench\": \"{}\",\n      \"chunks\": {},\n      \"corelets\": 32,\n      \
              \"contexts\": 4,\n      \"poll_ms\": {},\n      \"wheel_ms\": {},\n      \
              \"poll_median_ms\": {poll_med:.3},\n      \"wheel_median_ms\": {wheel_med:.3},\n      \
-             \"speedup\": {speedup:.3},\n      \"digests_match\": {digests_match}\n    }}",
+             \"speedup\": {speedup:.3},\n{baseline_fields}      \
+             \"digests_match\": {digests_match}\n    }}",
             p.label,
             p.arch_name,
             p.bench.name(),
@@ -212,8 +288,12 @@ fn main() {
             fmt_ms_list(&poll_ms),
             fmt_ms_list(&wheel_ms),
         ));
+        let vs_baseline = match baseline {
+            Some((bp, bw)) => format!(", {:.2}x/{:.2}x vs baseline", bp / poll_med, bw / wheel_med),
+            None => String::new(),
+        };
         eprintln!(
-            "bench: {}: poll {poll_med:.1} ms, wheel {wheel_med:.1} ms ({speedup:.2}x), digests {}",
+            "bench: {}: poll {poll_med:.1} ms, wheel {wheel_med:.1} ms ({speedup:.2}x){vs_baseline}, digests {}",
             p.label,
             if digests_match { "match" } else { "MISMATCH" }
         );
@@ -253,11 +333,18 @@ fn main() {
         fmt_ms_list(&wheel_ms),
     );
 
+    let baseline_header = match &baseline_path {
+        Some(p) => format!("  \"baseline\": \"{p}\",\n"),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"schema\": \"millipede-bench/1\",\n  \"runs_per_point\": {runs},\n  \
+        "{{\n  \"schema\": \"millipede-bench/2\",\n  \"runs_per_point\": {runs},\n\
+         {baseline_header}  \
          \"notes\": \"Wall-times for scheduler=poll vs scheduler=wheel (both with \
          idle-cycle fast-forward on, the shipping default) at each point; medians over \
-         runs_per_point in-process runs. The idle-heavy point is a bandwidth-starved \
+         runs_per_point in-process runs. Points carrying baseline_* fields are compared \
+         against the sweep named in `baseline` (speedup_vs_baseline_* = baseline median / \
+         this median, per scheduler). The idle-heavy point is a bandwidth-starved \
          Millipede node (8-bit DRAM channel, one context per corelet) also timed against \
          the per-edge polling baseline (poll with fast-forward off, which walks every \
          clock edge). All engines produce bit-identical results.\",\n{idle_entry},\n  \

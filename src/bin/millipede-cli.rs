@@ -8,6 +8,8 @@
 //!               [--local-bytes N] [--input-bytes N]
 //! millipede-cli verify --kernels [--json] [--strict] [--annotate]
 //! millipede-cli disasm (<kernel.asm>... | --kernels)
+//! millipede-cli run <kernel.asm>... [--input-words N] [--local-bytes N]
+//!               [--step-limit N]
 //! millipede-cli list
 //! ```
 //!
@@ -20,6 +22,7 @@
 //! millipede-cli verify --kernels --annotate
 //! millipede-cli disasm my_kernel.asm
 //! millipede-cli disasm --kernels
+//! millipede-cli run my_kernel.asm --input-words 128
 //! ```
 //!
 //! `verify` exits 0 when every program is clean, 1 when any diagnostic
@@ -28,9 +31,14 @@
 //! per-instruction `# verify:allow(MVxxx): reason` suppressions.
 //! `disasm` round-trips a program through the assembler and prints the
 //! canonical labeled listing; with `--kernels` it lists all eight
-//! compiled-in benchmark kernels.
+//! compiled-in benchmark kernels. `run` executes a standalone `.asm` file
+//! on the functional engine (one thread, zero-filled input image) and
+//! prints its dynamic statistics; it exits 0 on a clean halt, 1 when any
+//! program traps (trap kind on stderr), and 2 on usage or I/O errors.
 
+use millipede::engine::{run_functional, LaunchParams, ThreadCtx};
 use millipede::isa::{assemble, disassemble};
+use millipede::mem::InputImage;
 use millipede::sim::{run_one, Arch, SimConfig};
 use millipede::verify::{
     annotate, annotate_source, reports_to_json, verify_program, verify_source, VerifyConfig,
@@ -56,6 +64,8 @@ fn usage() -> ! {
          millipede-cli verify (<kernel.asm>... | --kernels) [--json] [--strict] \
          [--annotate] [--local-bytes N] [--input-bytes N]\n       \
          millipede-cli disasm (<kernel.asm>... | --kernels)\n       \
+         millipede-cli run <kernel.asm>... [--input-words N] [--local-bytes N] \
+         [--step-limit N]\n       \
          millipede-cli list"
     );
     std::process::exit(2);
@@ -202,6 +212,86 @@ fn disasm_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// The `run` subcommand: execute standalone `.asm` programs on the
+/// functional engine (one thread context, zero-filled input image) and
+/// print their dynamic statistics. Returns the process exit code: 0 when
+/// every program halts cleanly, 1 when any traps, 2 on usage/I/O errors.
+fn run_cmd(args: &[String]) -> i32 {
+    let mut files: Vec<String> = Vec::new();
+    let mut input_words: u64 = 512;
+    let mut local_bytes: u64 = 1024;
+    let mut step_limit: u64 = 10_000_000;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize, what: &str| -> u64 {
+            *i += 1;
+            args.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{what} needs a positive integer");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--input-words" => input_words = take(&mut i, "--input-words"),
+            "--local-bytes" => local_bytes = take(&mut i, "--local-bytes"),
+            "--step-limit" => step_limit = take(&mut i, "--step-limit"),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        usage();
+    }
+
+    let input = InputImage::new(vec![0u32; input_words as usize]);
+    let mut trapped = false;
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return 2;
+            }
+        };
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        let program = match assemble(&name, &source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}: assembly failed: {e}");
+                return 2;
+            }
+        };
+        let mut ctx = ThreadCtx::new(local_bytes as usize, &LaunchParams::new());
+        match run_functional(&mut ctx, &program, &input, step_limit) {
+            Ok(stats) => {
+                println!(
+                    "{name}: halted after {} instructions \
+                     (branches {}, taken {}, input words {}, local loads {}, \
+                     local stores {})",
+                    stats.instructions,
+                    stats.branches,
+                    stats.taken_branches,
+                    stats.input_words,
+                    stats.local_loads,
+                    stats.local_stores,
+                );
+            }
+            Err(trap) => {
+                eprintln!("{name}: trap at pc {}: {trap}", ctx.pc);
+                trapped = true;
+            }
+        }
+    }
+    i32::from(trapped)
+}
+
 fn list() {
     println!("benchmarks:");
     for b in Benchmark::ALL {
@@ -224,6 +314,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("disasm") {
         std::process::exit(disasm_cmd(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("run") {
+        std::process::exit(run_cmd(&args[1..]));
     }
     if args.len() < 2 {
         usage();

@@ -95,6 +95,15 @@ fn lint_wall_clock_fires_in_telemetry_only() {
 }
 
 #[test]
+fn lint_raw_fetch_fires_in_model_crates_only() {
+    let src = "//! doc\npub fn f(p: &Program, pc: u32) -> Instr { *p.fetch(pc) }\n";
+    // Timing-model crate: fires — per-cycle code must run on DecodedProgram.
+    assert!(lints_found("crates/gpgpu/src/bad.rs", src).contains(&"raw-fetch"));
+    // Reference interpreter: decodes freely.
+    assert!(!lints_found("crates/engine/src/ok.rs", src).contains(&"raw-fetch"));
+}
+
+#[test]
 fn lint_allow_escape_hatch_suppresses_with_reason() {
     let container = ["Hash", "Map"].concat();
     let src = format!(
@@ -111,7 +120,7 @@ fn every_lint_has_a_firing_negative_fixture() {
     // above catch it individually).
     let container = ["Hash", "Map"].concat();
     let hash_src = format!("//! doc\nuse std::collections::{container};\n");
-    let fixtures: [(&str, String); 6] = [
+    let fixtures: [(&str, String); 7] = [
         ("crates/core/src/a.rs", "pub fn x() {}\n".to_string()),
         ("crates/core/src/b.rs", hash_src),
         (
@@ -129,6 +138,10 @@ fn every_lint_has_a_firing_negative_fixture() {
         (
             "crates/telemetry/src/f.rs",
             "//! doc\nuse std::time::Instant;\n".to_string(),
+        ),
+        (
+            "crates/gpgpu/src/g.rs",
+            "//! doc\npub fn f(p: &Program, pc: u32) -> Instr { *p.fetch(pc) }\n".to_string(),
         ),
     ];
     let mut fired: Vec<&str> = fixtures
