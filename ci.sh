@@ -46,6 +46,17 @@ MILLIPEDE_SCHEDULER=poll cargo test --offline -q -p millipede \
 MILLIPEDE_SCHEDULER=wheel cargo test --offline -q -p millipede \
     --test golden_digests --test scheduler_differential
 
+echo "==> workload-family reference differential (both schedulers)"
+# The graph and dense families' acceptance bar: simulated observable
+# results match each kernel's plain-Rust host reference bit-exactly on all
+# eight variants, FF on and off, under both schedulers. The suite sets FF
+# and the scheduler per-combo itself; running it under both env settings
+# additionally covers the SimConfig::default() plumbing.
+MILLIPEDE_SCHEDULER=poll cargo test --offline -q -p millipede \
+    --test workload_reference
+MILLIPEDE_SCHEDULER=wheel cargo test --offline -q -p millipede \
+    --test workload_reference
+
 echo "==> decoded-interpreter differential (both schedulers)"
 # The predecoded micro-op interpreter must be bit-identical to the
 # reference enum interpreter (fixtures, kernels, randomized programs), and
@@ -81,10 +92,17 @@ print(f"trace OK: {len(events)} events")
 EOF
 fi
 
+echo "==> kernel verifier sweep (millipede-audit --kernels)"
+# The audit binary's kernel-only mode: every compiled-in kernel (the eight
+# BMLAs plus the graph and dense families, from Benchmark::ALL) must verify
+# clean with zero suppressions.
+cargo run --offline -q -p millipede-audit -- --kernels
+
 echo "==> kernel verifier (millipede-cli verify)"
-# The static verifier must hold its acceptance bar: all eight compiled-in
-# kernels clean, and every seeded-bug fixture rejected with the exact code
-# its `# verify-expect:` header declares. The JSON report must parse.
+# The static verifier must hold its acceptance bar: all fourteen
+# compiled-in kernels clean, and every seeded-bug fixture rejected with the
+# exact code its `# verify-expect:` header declares. The JSON report must
+# parse.
 verify_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$verify_dir"' EXIT
 ./target/release/millipede-cli verify --kernels --json > "$verify_dir/kernels.json"
@@ -97,7 +115,7 @@ if command -v python3 > /dev/null; then
 import json, re, sys, glob, os
 
 kernels = json.load(open(sys.argv[1]))
-assert len(kernels) == 8, f"expected 8 kernel reports, got {len(kernels)}"
+assert len(kernels) == 14, f"expected 14 kernel reports, got {len(kernels)}"
 for r in kernels:
     assert r["clean"], f"kernel {r['program']} not clean: {r['diagnostics']}"
     assert r["suppressed"] == 0, f"kernel {r['program']} needed suppressions"
@@ -119,7 +137,7 @@ for name, want in expected.items():
         assert want in codes, f"{name}: expected {want}, got {codes or 'clean'}"
 covered = {v for v in expected.values() if v != "clean"}
 assert covered == {f"MV{i:03d}" for i in range(1, 11)}, f"corpus gaps: {covered}"
-print(f"verifier OK: 8 kernels clean, {len(expected)} fixtures as expected")
+print(f"verifier OK: {len(kernels)} kernels clean, {len(expected)} fixtures as expected")
 EOF
 fi
 

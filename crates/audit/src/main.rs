@@ -1,18 +1,22 @@
 //! `millipede-audit` — the repo-specific lint pass.
 //!
-//! Usage: `cargo run -p millipede-audit [-- --root <workspace-root>] [--source-only]`
+//! Usage: `cargo run -p millipede-audit [-- --root <workspace-root>]
+//! [--source-only | --kernels]`
 //!
 //! Walks every `crates/*/src/**/*.rs` and `src/**/*.rs` file, prints
-//! `file:line: lint: message` diagnostics, then sweeps the eight compiled-in
-//! BMLA kernel programs through the `millipede-verify` static analyzer
-//! (skipped with `--source-only`). Exits non-zero when any violation or
-//! kernel diagnostic is found. See the crate docs for the lint catalogue and
-//! the `// audit:allow(<lint>): <reason>` escape hatch.
+//! `file:line: lint: message` diagnostics, then sweeps every compiled-in
+//! kernel program — the eight BMLAs plus the graph and dense workload
+//! families, enumerated from `Benchmark::ALL` — through the
+//! `millipede-verify` static analyzer (skipped with `--source-only`;
+//! `--kernels` runs *only* that sweep). Exits non-zero when any violation
+//! or kernel diagnostic is found. See the crate docs for the lint catalogue
+//! and the `// audit:allow(<lint>): <reason>` escape hatch.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Verifies the eight compiled-in kernels; returns the diagnostic count.
+/// Verifies every compiled-in kernel (`Benchmark::ALL`, so new benchmarks
+/// join the sweep automatically); returns the diagnostic count.
 fn sweep_kernels() -> usize {
     use millipede_verify::{verify_program, VerifyConfig};
     use millipede_workloads::{Benchmark, Workload};
@@ -37,6 +41,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let mut root: Option<PathBuf> = None;
     let mut source_only = false;
+    let mut kernels_only = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,8 +54,12 @@ fn main() -> ExitCode {
                 }
             }
             "--source-only" => source_only = true,
+            "--kernels" => kernels_only = true,
             "--help" | "-h" => {
-                eprintln!("usage: millipede-audit [--root <workspace-root>] [--source-only]");
+                eprintln!(
+                    "usage: millipede-audit [--root <workspace-root>] \
+                     [--source-only | --kernels]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -59,6 +68,10 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+    if source_only && kernels_only {
+        eprintln!("error: --source-only and --kernels are mutually exclusive");
+        return ExitCode::from(2);
     }
 
     let root = match root {
@@ -78,16 +91,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let source_violations = match millipede_audit::audit_tree(&root) {
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+    let source_violations = if kernels_only {
+        0
+    } else {
+        match millipede_audit::audit_tree(&root) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{d}");
+                }
+                diags.len()
             }
-            diags.len()
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
 

@@ -66,6 +66,11 @@ fn main() {
         millipede_sim::experiments::fig7::run(cfg)
     });
     println!("{}", f7.render());
+    println!("Workload families — graph + dense (beyond the paper's set)\n");
+    let fam = section(profile, "families", || {
+        millipede_sim::experiments::families::run(cfg)
+    });
+    println!("{}", fam.render());
     println!("Rate-matching convergence (§IV-F)\n");
     let conv = section(profile, "convergence", || {
         millipede_sim::experiments::convergence::run(cfg)

@@ -1,0 +1,19 @@
+//! Regenerates the workload-families comparison — the graph and dense
+//! benchmarks across all Fig. 3 architecture variants (speedup and energy
+//! relative to GPGPU; see EXPERIMENTS.md, "Workload families").
+fn main() {
+    let args = millipede_bench::parse();
+    let fam = millipede_sim::experiments::families::run(&args.cfg);
+    if args.csv {
+        print!("{}", fam.to_csv());
+    } else {
+        println!(
+            "Workload families — graph + dense vs the paper's architectures \
+             ({} chunks)\n",
+            args.cfg.num_chunks
+        );
+        println!("{}", fam.render());
+    }
+    let runs: Vec<_> = fam.runs.iter().flatten().collect();
+    millipede_bench::report(&args, &runs);
+}

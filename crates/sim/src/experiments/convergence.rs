@@ -39,7 +39,7 @@ pub struct Convergence {
 
 /// Runs every benchmark on full Millipede and summarizes its DFS trace.
 pub fn run(cfg: &SimConfig) -> Convergence {
-    let rows = Benchmark::ALL
+    let rows = Benchmark::BMLA
         .iter()
         .map(|&bench| {
             let r = crate::runner::run_one(Arch::Millipede, bench, cfg);

@@ -10,7 +10,7 @@ use crate::report::{f2, Table};
 use crate::runner::{sweep, RunResult};
 use millipede_workloads::Benchmark;
 
-/// The Fig. 3 sweep: `runs[bench][arch]` in `Benchmark::ALL` ×
+/// The Fig. 3 sweep: `runs[bench][arch]` in `Benchmark::BMLA` ×
 /// [`Arch::FIG3`] order.
 #[derive(Debug, Clone)]
 pub struct Fig3 {
@@ -47,7 +47,7 @@ impl Fig3 {
             other => other.label().to_string(),
         }));
         let mut t = Table::new(header);
-        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        for (bi, bench) in Benchmark::BMLA.iter().enumerate() {
             let mut row = vec![bench.name().to_string()];
             row.extend((0..Arch::FIG3.len()).map(|ai| f2(self.speedup(bi, ai))));
             t.row(row);
@@ -84,7 +84,7 @@ mod tests {
         };
         let f = run(&cfg);
         let milli = Arch::FIG3.len() - 1;
-        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        for (bi, bench) in Benchmark::BMLA.iter().enumerate() {
             // Millipede is never slower than GPGPU, SSMC, or VWS.
             for ai in 0..Arch::FIG3.len() - 1 {
                 assert!(

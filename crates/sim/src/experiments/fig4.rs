@@ -6,7 +6,7 @@ use crate::report::{f2, f3, Table};
 use crate::runner::{sweep, RunResult};
 use millipede_workloads::Benchmark;
 
-/// The Fig. 4 sweep: `runs[bench][arch]` in `Benchmark::ALL` ×
+/// The Fig. 4 sweep: `runs[bench][arch]` in `Benchmark::BMLA` ×
 /// [`Arch::FIG4`] order.
 #[derive(Debug, Clone)]
 pub struct Fig4 {
@@ -55,7 +55,7 @@ impl Fig4 {
             header.push(format!("{} (core+dram+static)", a.label()));
         }
         let mut t = Table::new(header);
-        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        for (bi, bench) in Benchmark::BMLA.iter().enumerate() {
             let g_total = self.runs[bi][0].energy.total_pj();
             let mut row = vec![bench.name().to_string()];
             for ai in 0..Arch::FIG4.len() {

@@ -56,7 +56,7 @@ pub fn run(cfg: &SimConfig) -> Fig5 {
     };
     let mut rows = Vec::new();
     let mut systems = Vec::new();
-    for &bench in &Benchmark::ALL {
+    for &bench in &Benchmark::BMLA {
         let system = run_system(Arch::Millipede, bench, &full_cfg, MILLIPEDE_PROCESSORS);
         assert!(system.output_ok, "{}: bad system output", bench.name());
         let mc = run_one(Arch::Multicore, bench, &full_cfg);

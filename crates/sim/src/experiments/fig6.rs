@@ -31,7 +31,7 @@ pub fn run(cfg: &SimConfig) -> Fig6 {
             bandwidth_factor: cfg.bandwidth_factor * (si as u32 + 1),
             ..cfg.clone()
         };
-        let pairs: Vec<(Arch, Benchmark)> = Benchmark::ALL
+        let pairs: Vec<(Arch, Benchmark)> = Benchmark::BMLA
             .iter()
             .flat_map(|&b| ARCHS.iter().map(move |&a| (a, b)))
             .collect();
@@ -64,7 +64,7 @@ impl Fig6 {
             }
         }
         let mut t = Table::new(header);
-        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        for (bi, bench) in Benchmark::BMLA.iter().enumerate() {
             let mut row = vec![bench.name().to_string()];
             for si in 0..SIZES.len() {
                 for ai in 0..ARCHS.len() {

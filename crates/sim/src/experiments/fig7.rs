@@ -29,7 +29,7 @@ pub fn run(cfg: &SimConfig) -> Fig7 {
             pbuf_entries: count,
             ..cfg.clone()
         };
-        let pairs: Vec<(Arch, Benchmark)> = Benchmark::ALL
+        let pairs: Vec<(Arch, Benchmark)> = Benchmark::BMLA
             .iter()
             .map(|&b| (Arch::MillipedeNoRateMatch, b))
             .collect();
@@ -57,7 +57,7 @@ impl Fig7 {
         let mut header = vec!["Benchmark".to_string()];
         header.extend(COUNTS.iter().map(|c| format!("{c} buffers")));
         let mut t = Table::new(header);
-        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        for (bi, bench) in Benchmark::BMLA.iter().enumerate() {
             let mut row = vec![bench.name().to_string()];
             row.extend((0..COUNTS.len()).map(|ci| f2(self.speedup(ci, bi))));
             t.row(row);

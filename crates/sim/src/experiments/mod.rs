@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod convergence;
+pub mod families;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

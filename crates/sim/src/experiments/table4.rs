@@ -56,12 +56,12 @@ pub fn functional_characteristics(bench: Benchmark, cfg: &SimConfig) -> FuncStat
 
 /// Runs the Table IV measurements.
 pub fn run(cfg: &SimConfig) -> Table4 {
-    let pairs: Vec<(Arch, Benchmark)> = Benchmark::ALL
+    let pairs: Vec<(Arch, Benchmark)> = Benchmark::BMLA
         .iter()
         .flat_map(|&b| [(Arch::Ssmc, b), (Arch::Millipede, b)])
         .collect();
     let timing = run_many(&pairs, cfg);
-    let rows = Benchmark::ALL
+    let rows = Benchmark::BMLA
         .iter()
         .enumerate()
         .map(|(i, &bench)| {
@@ -123,7 +123,7 @@ mod tests {
             num_chunks: 2,
             ..Default::default()
         };
-        let ipw: Vec<f64> = Benchmark::ALL
+        let ipw: Vec<f64> = Benchmark::BMLA
             .iter()
             .map(|&b| functional_characteristics(b, &cfg).insts_per_input_word())
             .collect();

@@ -204,9 +204,9 @@ pub fn run_grid(
 
 /// Runs every Fig. 3 architecture on every benchmark (the workhorse sweep
 /// shared by Figs. 3 and 4), returned as `[bench][arch]` following
-/// `Benchmark::ALL` × the given arch list order.
+/// `Benchmark::BMLA` × the given arch list order.
 pub fn sweep(archs: &[Arch], cfg: &SimConfig) -> Vec<Vec<RunResult>> {
-    let pairs: Vec<(Arch, Benchmark)> = Benchmark::ALL
+    let pairs: Vec<(Arch, Benchmark)> = Benchmark::BMLA
         .iter()
         .flat_map(|&b| archs.iter().map(move |&a| (a, b)))
         .collect();

@@ -1,0 +1,226 @@
+//! Deterministic synthetic-graph generator with a CSR edge layout.
+//!
+//! The graph workloads (`pagerank`, `bfs`) need an adversarially
+//! *irregular* access pattern without breaking the simulators' row-dense
+//! input-streaming contract (DESIGN.md, "Flow control"): the dataset is
+//! therefore the **edge list in CSR order** — source-sorted `(src, dst)`
+//! records streamed sequentially like any other benchmark — while the
+//! irregularity lands where it architecturally matters for a PNM corelet:
+//! data-dependent *indexed local-memory accesses* (`rank[src]`,
+//! `dist[dst]`) and *divergent data-dependent branches* (frontier
+//! membership, hub classification). This mirrors Tesseract-style graph
+//! PIM kernels, where the vertex state is the random-access working set
+//! and the edge stream is sequential.
+//!
+//! Degrees are deliberately skewed (each edge samples its source as the
+//! *minimum* of two uniform draws, so low-numbered vertices act as hubs)
+//! because degree skew is what creates cross-corelet work imbalance — the
+//! flow-control stress case — and warp divergence on the SIMT baselines.
+//!
+//! Everything is generated from the in-repo [`SplitMix64`] stream, so
+//! datasets are bit-reproducible across platforms; the golden digests and
+//! the property suite (`tests/proptest_invariants.rs`) rely on that.
+
+use crate::gen::SplitMix64;
+
+/// Level sentinel for vertices not yet reached by [`SynthGraph::bfs_levels`].
+pub const UNREACHED: u32 = 0x7fff_ffff;
+
+/// A deterministic directed multigraph in CSR (source-sorted) edge order.
+#[derive(Debug, Clone)]
+pub struct SynthGraph {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Edges sorted by source (generation order preserved within a
+    /// source); `edges.len()` is exactly the requested edge count.
+    pub edges: Vec<(u32, u32)>,
+    /// CSR row pointer: the edges of vertex `v` are
+    /// `edges[row_ptr[v] as usize .. row_ptr[v + 1] as usize]`.
+    pub row_ptr: Vec<u32>,
+}
+
+impl SynthGraph {
+    /// Generates a graph with `num_vertices` vertices and exactly
+    /// `num_edges` edges from `seed`.
+    ///
+    /// Each edge draws its source as `min(u, u')` of two uniform draws
+    /// (quadratic skew toward low vertex ids — the hubs) and its
+    /// destination uniformly among the *other* vertices (no self-loops).
+    /// Parallel edges are allowed, as in real edge streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_vertices < 2` (destinations must have somewhere
+    /// to go).
+    pub fn generate(num_vertices: usize, num_edges: usize, seed: u64) -> SynthGraph {
+        assert!(num_vertices >= 2, "need at least 2 vertices");
+        let v = num_vertices as u32;
+        let mut rng = SplitMix64::new(seed);
+        let mut edges: Vec<(u32, u32)> = (0..num_edges)
+            .map(|_| {
+                let src = rng.below(v).min(rng.below(v));
+                let dst = (src + 1 + rng.below(v - 1)) % v;
+                (src, dst)
+            })
+            .collect();
+        // Stable: edges of one source keep their generation order, so the
+        // layout is a pure function of (num_vertices, num_edges, seed).
+        edges.sort_by_key(|&(src, _)| src);
+        let mut row_ptr = vec![0u32; num_vertices + 1];
+        for &(src, _) in &edges {
+            row_ptr[src as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        SynthGraph {
+            num_vertices,
+            edges,
+            row_ptr,
+        }
+    }
+
+    /// Edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: usize) -> u32 {
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// Checks CSR well-formedness; returns every violated invariant (empty
+    /// means well-formed). The property suite drives this over randomized
+    /// sizes and seeds.
+    pub fn check_csr(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.row_ptr.len() != self.num_vertices + 1 {
+            problems.push(format!(
+                "row_ptr has {} entries for {} vertices",
+                self.row_ptr.len(),
+                self.num_vertices
+            ));
+        }
+        if self.row_ptr.first() != Some(&0) {
+            problems.push("row_ptr[0] != 0".to_string());
+        }
+        if self.row_ptr.last().copied() != Some(self.edges.len() as u32) {
+            problems.push("row_ptr does not end at the edge count".to_string());
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            problems.push("row_ptr not monotone".to_string());
+        }
+        for (i, &(src, dst)) in self.edges.iter().enumerate() {
+            if src as usize >= self.num_vertices || dst as usize >= self.num_vertices {
+                problems.push(format!("edge {i} ({src} -> {dst}) out of range"));
+            }
+            if src == dst {
+                problems.push(format!("edge {i} is a self-loop at {src}"));
+            }
+        }
+        if self.edges.windows(2).any(|w| w[0].0 > w[1].0) {
+            problems.push("edges not sorted by source".to_string());
+        }
+        for v in 0..self.num_vertices {
+            let (lo, hi) = (self.row_ptr[v] as usize, self.row_ptr[v + 1] as usize);
+            if self.edges[lo..hi].iter().any(|&(src, _)| src as usize != v) {
+                problems.push(format!(
+                    "row_ptr slice of vertex {v} contains foreign edges"
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Breadth-first levels from `root`, following edge direction.
+    /// Vertices farther than `max_level` (or unreachable) get
+    /// [`UNREACHED`] — a deliberately *partial* frontier, so one
+    /// relaxation sweep over it has a realistic mix of frontier and
+    /// non-frontier sources.
+    pub fn bfs_levels(&self, root: usize, max_level: u32) -> Vec<u32> {
+        let mut level = vec![UNREACHED; self.num_vertices];
+        level[root] = 0;
+        let mut frontier = vec![root];
+        let mut depth = 0;
+        while !frontier.is_empty() && depth < max_level {
+            depth += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                let (lo, hi) = (self.row_ptr[v] as usize, self.row_ptr[v + 1] as usize);
+                for &(_, dst) in &self.edges[lo..hi] {
+                    if level[dst as usize] == UNREACHED {
+                        level[dst as usize] = depth;
+                        next.push(dst as usize);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graphs_are_well_formed() {
+        for (v, e, seed) in [(8, 32, 1), (64, 2048, 7), (16, 100, 42)] {
+            let g = SynthGraph::generate(v, e, seed);
+            assert_eq!(g.num_edges(), e);
+            let problems = g.check_csr();
+            assert!(problems.is_empty(), "{problems:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthGraph::generate(64, 512, 9);
+        let b = SynthGraph::generate(64, 512, 9);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.row_ptr, b.row_ptr);
+        let c = SynthGraph::generate(64, 512, 10);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn degrees_are_skewed_toward_low_vertices() {
+        let g = SynthGraph::generate(64, 4096, 3);
+        let low: u32 = (0..16).map(|v| g.out_degree(v)).sum();
+        let high: u32 = (48..64).map(|v| g.out_degree(v)).sum();
+        // min-of-two-uniforms gives the lowest quartile ~7/16 of the mass
+        // and the highest ~1/16.
+        assert!(low > 3 * high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn degrees_match_row_ptr() {
+        let g = SynthGraph::generate(32, 777, 5);
+        let total: u32 = (0..32).map(|v| g.out_degree(v)).sum();
+        assert_eq!(total as usize, g.num_edges());
+    }
+
+    #[test]
+    fn bfs_levels_respect_edges_and_cap() {
+        let g = SynthGraph::generate(64, 128, 11);
+        let level = g.bfs_levels(0, 2);
+        assert_eq!(level[0], 0);
+        assert!(level.iter().all(|&l| l == UNREACHED || l <= 2));
+        // Every reached non-root vertex has an in-edge from one level up.
+        for v in 0..g.num_vertices {
+            if level[v] != UNREACHED && level[v] > 0 {
+                assert!(
+                    g.edges
+                        .iter()
+                        .any(|&(s, d)| d as usize == v && level[s as usize] == level[v] - 1),
+                    "vertex {v} at level {} has no predecessor",
+                    level[v]
+                );
+            }
+        }
+        // A capped frontier on a hub-skewed graph leaves some vertices out.
+        assert!(level.contains(&UNREACHED));
+    }
+}

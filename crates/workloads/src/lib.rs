@@ -1,4 +1,5 @@
-//! The eight BMLA benchmarks of Table II / Table IV.
+//! The compiled-in benchmark suite: the paper's eight BMLAs plus two
+//! bracketing workload families the paper never had.
 //!
 //! Each benchmark supplies four pieces:
 //!
@@ -15,25 +16,42 @@
 //! 4. a **pure-Rust reference** that replays the exact per-thread visit
 //!    order and `f32` arithmetic, so golden tests compare bit-exactly.
 //!
-//! The benchmarks appear in Table IV's order of increasing instructions per
-//! input word: `count`, `sample`, `variance`, `nbayes`, `classify`,
-//! `kmeans`, `pca`, `gda`. Dimensionalities (chosen to fit each context's
-//! 1 KB live-state partition while preserving the paper's compute-intensity
-//! ordering) are constants in each module.
+//! The paper's BMLA benchmarks appear in Table IV's order of increasing
+//! instructions per input word: `count`, `sample`, `variance`, `nbayes`,
+//! `classify`, `kmeans`, `pca`, `gda` ([`Benchmark::BMLA`]). Dimensionalities
+//! (chosen to fit each context's 1 KB live-state partition while preserving
+//! the paper's compute-intensity ordering) are constants in each module.
+//!
+//! Two further families bracket the BMLAs' regular record streaming
+//! (ROADMAP open item 2):
+//!
+//! * **graph analytics** ([`Benchmark::GRAPH`]): `pagerank` and `bfs` over
+//!   a deterministic CSR edge stream — the irregular-access adversarial
+//!   case (Tesseract-style), with data-dependent indexed local accesses
+//!   and divergent frontier branches;
+//! * **dense kernels** ([`Benchmark::DENSE`]): tiled `gemm` plus the
+//!   PrIM-style `streamadd` / `reduction` / `scan` microkernels — the
+//!   regular dense case, spanning the two extremes of arithmetic
+//!   intensity.
 
 #![warn(missing_docs)]
 // Reference implementations use indexed loops that mirror the kernels'
 // address arithmetic one-for-one; iterator rewrites would obscure that.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bfs;
 pub mod classify;
 pub mod count;
 pub mod gda;
+pub mod gemm;
 pub mod gen;
+pub mod graph;
 pub mod kmeans;
 pub mod meta;
 pub mod nbayes;
+pub mod pagerank;
 pub mod pca;
+pub mod prim;
 pub mod sample;
 pub mod skeleton;
 pub mod variance;
@@ -42,7 +60,30 @@ use millipede_engine::{LaunchParams, ThreadCtx};
 use millipede_isa::Program;
 use millipede_mapreduce::{Dataset, ThreadGrid};
 
-/// The eight BMLA benchmarks, in Table IV order.
+/// Workload family a benchmark belongs to (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// The paper's eight BMLA benchmarks (Table II / Table IV).
+    Bmla,
+    /// Graph analytics over a CSR edge stream (irregular-access case).
+    Graph,
+    /// Dense kernels: tiled GEMM + PrIM-style streaming microkernels.
+    Dense,
+}
+
+impl Family {
+    /// Lower-case family label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Bmla => "bmla",
+            Family::Graph => "graph",
+            Family::Dense => "dense",
+        }
+    }
+}
+
+/// The compiled-in benchmarks: the eight BMLAs (Table IV order) followed
+/// by the graph-analytics and dense-kernel families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Benchmark {
     /// Filtered histogram of movie ratings.
@@ -61,11 +102,45 @@ pub enum Benchmark {
     Pca,
     /// Gaussian discriminant analysis: per-class mean + covariance.
     Gda,
+    /// One push-style PageRank power-iteration step over a CSR edge stream.
+    Pagerank,
+    /// One BFS frontier-relaxation sweep over a CSR edge stream.
+    Bfs,
+    /// Tiled dense matrix multiply streamed along the k dimension.
+    Gemm,
+    /// PrIM-style vector add with running sum + XOR checksum.
+    StreamAdd,
+    /// PrIM-style single-pass sum / min / max reduction.
+    Reduction,
+    /// PrIM-style per-thread inclusive prefix sum with order-sensitive
+    /// checksum.
+    Scan,
 }
 
 impl Benchmark {
-    /// All benchmarks in Table IV order.
-    pub const ALL: [Benchmark; 8] = [
+    /// Every compiled-in benchmark: [`Benchmark::BMLA`] first (so the
+    /// paper-table indices stay stable), then [`Benchmark::GRAPH`], then
+    /// [`Benchmark::DENSE`].
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Count,
+        Benchmark::Sample,
+        Benchmark::Variance,
+        Benchmark::NBayes,
+        Benchmark::Classify,
+        Benchmark::Kmeans,
+        Benchmark::Pca,
+        Benchmark::Gda,
+        Benchmark::Pagerank,
+        Benchmark::Bfs,
+        Benchmark::Gemm,
+        Benchmark::StreamAdd,
+        Benchmark::Reduction,
+        Benchmark::Scan,
+    ];
+
+    /// The paper's eight BMLA benchmarks in Table IV order — the set every
+    /// paper figure and table sweeps.
+    pub const BMLA: [Benchmark; 8] = [
         Benchmark::Count,
         Benchmark::Sample,
         Benchmark::Variance,
@@ -75,6 +150,35 @@ impl Benchmark {
         Benchmark::Pca,
         Benchmark::Gda,
     ];
+
+    /// The graph-analytics family.
+    pub const GRAPH: [Benchmark; 2] = [Benchmark::Pagerank, Benchmark::Bfs];
+
+    /// The dense-kernel family.
+    pub const DENSE: [Benchmark; 4] = [
+        Benchmark::Gemm,
+        Benchmark::StreamAdd,
+        Benchmark::Reduction,
+        Benchmark::Scan,
+    ];
+
+    /// The workload family this benchmark belongs to.
+    pub fn family(self) -> Family {
+        match self {
+            Benchmark::Count
+            | Benchmark::Sample
+            | Benchmark::Variance
+            | Benchmark::NBayes
+            | Benchmark::Classify
+            | Benchmark::Kmeans
+            | Benchmark::Pca
+            | Benchmark::Gda => Family::Bmla,
+            Benchmark::Pagerank | Benchmark::Bfs => Family::Graph,
+            Benchmark::Gemm | Benchmark::StreamAdd | Benchmark::Reduction | Benchmark::Scan => {
+                Family::Dense
+            }
+        }
+    }
 
     /// The benchmark's name as used in the paper's tables and figures.
     pub fn name(self) -> &'static str {
@@ -87,6 +191,12 @@ impl Benchmark {
             Benchmark::Kmeans => "kmeans",
             Benchmark::Pca => "pca",
             Benchmark::Gda => "gda",
+            Benchmark::Pagerank => "pagerank",
+            Benchmark::Bfs => "bfs",
+            Benchmark::Gemm => "gemm",
+            Benchmark::StreamAdd => "streamadd",
+            Benchmark::Reduction => "reduction",
+            Benchmark::Scan => "scan",
         }
     }
 
@@ -171,6 +281,12 @@ impl Workload {
             Benchmark::Kmeans => kmeans::build(num_chunks, row_bytes, seed),
             Benchmark::Pca => pca::build(num_chunks, row_bytes, seed),
             Benchmark::Gda => gda::build(num_chunks, row_bytes, seed),
+            Benchmark::Pagerank => pagerank::build(num_chunks, row_bytes, seed),
+            Benchmark::Bfs => bfs::build(num_chunks, row_bytes, seed),
+            Benchmark::Gemm => gemm::build(num_chunks, row_bytes, seed),
+            Benchmark::StreamAdd => prim::build_streamadd(num_chunks, row_bytes, seed),
+            Benchmark::Reduction => prim::build_reduction(num_chunks, row_bytes, seed),
+            Benchmark::Scan => prim::build_scan(num_chunks, row_bytes, seed),
         }
     }
 
@@ -203,6 +319,12 @@ impl Workload {
             Benchmark::Kmeans => kmeans::reduce(states),
             Benchmark::Pca => pca::reduce(states),
             Benchmark::Gda => gda::reduce(states),
+            Benchmark::Pagerank => pagerank::reduce(states),
+            Benchmark::Bfs => bfs::reduce(states),
+            Benchmark::Gemm => gemm::reduce(states),
+            Benchmark::StreamAdd => prim::reduce_streamadd(states),
+            Benchmark::Reduction => prim::reduce_reduction(states),
+            Benchmark::Scan => prim::reduce_scan(states),
         }
     }
 
@@ -276,18 +398,28 @@ impl Workload {
             Benchmark::Kmeans => kmeans::reference(self, grid),
             Benchmark::Pca => pca::reference(self, grid),
             Benchmark::Gda => gda::reference(self, grid),
+            Benchmark::Pagerank => pagerank::reference(self, grid),
+            Benchmark::Bfs => bfs::reference(self, grid),
+            Benchmark::Gemm => gemm::reference(self, grid),
+            Benchmark::StreamAdd => prim::reference_streamadd(self, grid),
+            Benchmark::Reduction => prim::reference_reduction(self, grid),
+            Benchmark::Scan => prim::reference_scan(self, grid),
         }
     }
 }
 
 /// Combines per-shard reduced outputs into the cluster-level final Reduce
 /// (§III-A's "global final Reduce"). Every benchmark's outputs combine by
-/// elementwise addition, except `sample`'s kept-representative section,
-/// which combines by maximum (see `sample::combine`).
+/// elementwise addition, except `sample`'s kept-representative section
+/// (maximum, see `sample::combine`) and `bfs`'s relaxation targets
+/// (minimum, see `bfs::combine`).
 pub fn combine_outputs(bench: Benchmark, outputs: &[Reduced]) -> Reduced {
     assert!(!outputs.is_empty());
     if bench == Benchmark::Sample {
         return sample::combine(outputs);
+    }
+    if bench == Benchmark::Bfs {
+        return bfs::combine(outputs);
     }
     let mut acc = outputs[0].clone();
     for out in &outputs[1..] {
@@ -345,6 +477,27 @@ mod tests {
     fn table_iv_order() {
         assert_eq!(Benchmark::ALL[0].name(), "count");
         assert_eq!(Benchmark::ALL[7].name(), "gda");
+        // ALL is BMLA ++ GRAPH ++ DENSE, so paper-table indices are stable.
+        assert_eq!(&Benchmark::ALL[..8], &Benchmark::BMLA);
+        assert_eq!(&Benchmark::ALL[8..10], &Benchmark::GRAPH);
+        assert_eq!(&Benchmark::ALL[10..], &Benchmark::DENSE);
+    }
+
+    #[test]
+    fn families_partition_the_benchmarks() {
+        for b in Benchmark::BMLA {
+            assert_eq!(b.family(), Family::Bmla);
+        }
+        for b in Benchmark::GRAPH {
+            assert_eq!(b.family(), Family::Graph);
+        }
+        for b in Benchmark::DENSE {
+            assert_eq!(b.family(), Family::Dense);
+        }
+        assert_eq!(
+            Benchmark::BMLA.len() + Benchmark::GRAPH.len() + Benchmark::DENSE.len(),
+            Benchmark::ALL.len()
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_8.json: the fixed poll-vs-wheel scheduler sweep
+# Regenerates BENCH_9.json: the fixed poll-vs-wheel scheduler sweep
 # (schema millipede-bench/2; see EXPERIMENTS.md, "Scheduler wall-clock
-# benchmarks"), measured against the checked-in pre-predecode baseline
-# BENCH_7.json when it is present. The sweep is deterministic — fixed
+# benchmarks"), measured against the checked-in pre-workload-families baseline
+# BENCH_8.json when it is present. The sweep is deterministic — fixed
 # points, fixed seeds, median of five in-process runs per engine — so
 # regenerating the file changes only the measured wall-times, never the
 # shape, and the binary exits nonzero if the two schedulers ever disagree
@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --offline --release --workspace
 baseline=()
-if [ -f BENCH_7.json ]; then
-    baseline=(--baseline BENCH_7.json)
+if [ -f BENCH_8.json ]; then
+    baseline=(--baseline BENCH_8.json)
 fi
-./target/release/millipede-bench --runs 5 "${baseline[@]}" --out BENCH_8.json
+./target/release/millipede-bench --runs 5 "${baseline[@]}" --out BENCH_9.json

@@ -11,6 +11,13 @@
 #      engine (traps are reported but non-fatal for the same reason as
 #      verify; the differential suite pins their exact semantics).
 #
+# It then sweeps every compiled-in benchmark kernel through the same
+# three subcommands via their --kernels form. That list is enumerated
+# from Benchmark::ALL inside the CLI — not maintained here — so a new
+# benchmark cannot silently drop out of this pipeline check, and all
+# three legs are fatal for the compiled-in kernels (they must verify
+# clean, round-trip, and validate against their golden references).
+#
 # Usage: scripts/run_examples.sh [directory]
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -61,3 +68,11 @@ done
 echo
 echo "run_examples: $total programs — $verified verified clean, \
 $ran ran to halt, $trapped trapped"
+
+echo
+echo "==> compiled-in kernels (enumerated from Benchmark::ALL)"
+"$cli" verify --kernels || exit 1
+"$cli" disasm --kernels > /dev/null || exit 1
+"$cli" run --kernels || exit 1
+kernels=$("$cli" list | sed -n '/^benchmarks:/,/^architectures:/p' | grep -c '^  ') || exit 1
+echo "run_examples: $kernels compiled-in kernels verified, round-tripped, and validated"

@@ -40,7 +40,7 @@ struct Point {
     chunks: usize,
 }
 
-const POINTS: [Point; 7] = [
+const POINTS: [Point; 10] = [
     Point {
         label: "millipede-count",
         arch: Arch::Millipede,
@@ -91,6 +91,31 @@ const POINTS: [Point; 7] = [
         arch: Arch::VwsRow,
         arch_name: "vws-row",
         bench: Benchmark::Kmeans,
+        chunks: 64,
+    },
+    // Workload-family points (graph + dense; see EXPERIMENTS.md,
+    // "Workload families"): the irregular indexed-local case on
+    // Millipede, the ALU-burst-heavy dense tile on SSMC, and the
+    // lowest-intensity streaming microkernel on the GPGPU baseline.
+    Point {
+        label: "millipede-pagerank",
+        arch: Arch::Millipede,
+        arch_name: "millipede",
+        bench: Benchmark::Pagerank,
+        chunks: 64,
+    },
+    Point {
+        label: "ssmc-gemm",
+        arch: Arch::Ssmc,
+        arch_name: "ssmc",
+        bench: Benchmark::Gemm,
+        chunks: 32,
+    },
+    Point {
+        label: "gpgpu-streamadd",
+        arch: Arch::Gpgpu,
+        arch_name: "gpgpu",
+        bench: Benchmark::StreamAdd,
         chunks: 64,
     },
 ];

@@ -10,6 +10,7 @@
 //! millipede-cli disasm (<kernel.asm>... | --kernels)
 //! millipede-cli run <kernel.asm>... [--input-words N] [--local-bytes N]
 //!               [--step-limit N]
+//! millipede-cli run --kernels [--chunks N] [--seed S]
 //! millipede-cli list
 //! ```
 //!
@@ -30,14 +31,21 @@
 //! `# verify-config: local-bytes=N input-bytes=N strict` directives and
 //! per-instruction `# verify:allow(MVxxx): reason` suppressions.
 //! `disasm` round-trips a program through the assembler and prints the
-//! canonical labeled listing; with `--kernels` it lists all eight
-//! compiled-in benchmark kernels. `run` executes a standalone `.asm` file
+//! canonical labeled listing. `run` executes a standalone `.asm` file
 //! on the functional engine (one thread, zero-filled input image) and
 //! prints its dynamic statistics; it exits 0 on a clean halt, 1 when any
 //! program traps (trap kind on stderr), and 2 on usage or I/O errors.
+//!
+//! The `--kernels` form of `verify`, `disasm`, and `run` enumerates every
+//! compiled-in benchmark from `Benchmark::ALL` — there is no hand-kept
+//! kernel list anywhere in the pipeline, so new benchmarks flow through
+//! automatically. `run --kernels` executes each kernel functionally over
+//! its real dataset and launch grid and validates the reduced output
+//! against the benchmark's golden reference.
 
 use millipede::engine::{run_functional, LaunchParams, ThreadCtx};
 use millipede::isa::{assemble, disassemble};
+use millipede::mapreduce::ThreadGrid;
 use millipede::mem::InputImage;
 use millipede::sim::{run_one, Arch, SimConfig};
 use millipede::verify::{
@@ -66,13 +74,14 @@ fn usage() -> ! {
          millipede-cli disasm (<kernel.asm>... | --kernels)\n       \
          millipede-cli run <kernel.asm>... [--input-words N] [--local-bytes N] \
          [--step-limit N]\n       \
+         millipede-cli run --kernels [--chunks N] [--seed S]\n       \
          millipede-cli list"
     );
     std::process::exit(2);
 }
 
-/// The `verify` subcommand: static analysis over `.asm` files or the eight
-/// compiled-in kernels. Returns the process exit code.
+/// The `verify` subcommand: static analysis over `.asm` files or every
+/// compiled-in kernel. Returns the process exit code.
 fn verify_cmd(args: &[String]) -> i32 {
     let mut base = VerifyConfig::default();
     let mut files: Vec<String> = Vec::new();
@@ -164,7 +173,7 @@ fn verify_cmd(args: &[String]) -> i32 {
 }
 
 /// The `disasm` subcommand: print the canonical labeled listing of `.asm`
-/// files or the eight compiled-in kernels. Returns the process exit code.
+/// files or every compiled-in kernel. Returns the process exit code.
 fn disasm_cmd(args: &[String]) -> i32 {
     let mut files: Vec<String> = Vec::new();
     let mut kernels = false;
@@ -212,15 +221,70 @@ fn disasm_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// The `run --kernels` mode: execute every compiled-in benchmark kernel
+/// functionally over its real dataset and launch grid (enumerated from
+/// `Benchmark::ALL`, never a hand-kept list) and validate the reduced
+/// output against the golden reference. Returns the process exit code.
+fn run_kernels(num_chunks: usize, seed: u64) -> i32 {
+    let grid = ThreadGrid::paper_default();
+    let mut bad = false;
+    for &bench in &Benchmark::ALL {
+        let w = Workload::build(bench, num_chunks, 2048, seed);
+        let mut stats = millipede::engine::FuncStats::default();
+        let mut states: Vec<Vec<u32>> = Vec::with_capacity(grid.num_threads());
+        let mut trapped = false;
+        'threads: for corelet in 0..grid.corelets {
+            for context in 0..grid.contexts {
+                let mut ctx = w.make_ctx(&grid, corelet, context);
+                match run_functional(&mut ctx, &w.program, &w.dataset.image, 10_000_000) {
+                    Ok(s) => stats.merge(&s),
+                    Err(trap) => {
+                        eprintln!(
+                            "{}: trap at pc {} on thread ({corelet}, {context}): {trap}",
+                            bench.name(),
+                            ctx.pc
+                        );
+                        trapped = true;
+                        break 'threads;
+                    }
+                }
+                states.push(ctx.local.words().to_vec());
+            }
+        }
+        if trapped {
+            bad = true;
+            continue;
+        }
+        let views: Vec<&[u32]> = states.iter().map(Vec::as_slice).collect();
+        let ok = w.reduce(&views) == w.reference(&grid);
+        println!(
+            "{:<10} [{}] {} instructions, {} branches, {} input words: {}",
+            bench.name(),
+            bench.family().name(),
+            stats.instructions,
+            stats.branches,
+            stats.input_words,
+            if ok { "output ok" } else { "OUTPUT MISMATCH" },
+        );
+        bad |= !ok;
+    }
+    i32::from(bad)
+}
+
 /// The `run` subcommand: execute standalone `.asm` programs on the
 /// functional engine (one thread context, zero-filled input image) and
-/// print their dynamic statistics. Returns the process exit code: 0 when
-/// every program halts cleanly, 1 when any traps, 2 on usage/I/O errors.
+/// print their dynamic statistics, or with `--kernels` run every
+/// compiled-in benchmark kernel (see [`run_kernels`]). Returns the process
+/// exit code: 0 when every program halts cleanly and validates, 1 when any
+/// traps or mismatches, 2 on usage/I/O errors.
 fn run_cmd(args: &[String]) -> i32 {
     let mut files: Vec<String> = Vec::new();
+    let mut kernels = false;
     let mut input_words: u64 = 512;
     let mut local_bytes: u64 = 1024;
     let mut step_limit: u64 = 10_000_000;
+    let mut num_chunks: usize = 2;
+    let mut seed: u64 = 7;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize, what: &str| -> u64 {
@@ -233,9 +297,12 @@ fn run_cmd(args: &[String]) -> i32 {
                 })
         };
         match args[i].as_str() {
+            "--kernels" => kernels = true,
             "--input-words" => input_words = take(&mut i, "--input-words"),
             "--local-bytes" => local_bytes = take(&mut i, "--local-bytes"),
             "--step-limit" => step_limit = take(&mut i, "--step-limit"),
+            "--chunks" => num_chunks = take(&mut i, "--chunks") as usize,
+            "--seed" => seed = take(&mut i, "--seed"),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
                 usage();
@@ -244,8 +311,12 @@ fn run_cmd(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    if files.is_empty() {
+    if kernels != files.is_empty() {
+        // Exactly one of --kernels / file arguments must be given.
         usage();
+    }
+    if kernels {
+        return run_kernels(num_chunks, seed);
     }
 
     let input = InputImage::new(vec![0u32; input_words as usize]);

@@ -183,7 +183,8 @@ fn fixtures_execute_identically() {
 }
 
 // ---------------------------------------------------------------------
-// Compiled-in BMLA kernels: the real workloads the timing models run.
+// Compiled-in kernels (the eight BMLAs plus the graph and dense
+// families): the real workloads the timing models run.
 // ---------------------------------------------------------------------
 
 #[test]
@@ -293,7 +294,18 @@ fn all_models_validate_on_decoded_execution() {
         num_chunks: 2,
         ..SimConfig::default()
     };
-    for bench in [Benchmark::Count, Benchmark::Variance, Benchmark::Gda] {
+    // One irregular BMLA trio plus representatives of both new workload
+    // families: graph (indexed accumulation, frontier divergence) and
+    // dense (finalize tile loops, min/max reduction).
+    for bench in [
+        Benchmark::Count,
+        Benchmark::Variance,
+        Benchmark::Gda,
+        Benchmark::Pagerank,
+        Benchmark::Bfs,
+        Benchmark::Gemm,
+        Benchmark::Reduction,
+    ] {
         let w = Workload::build(bench, cfg.num_chunks, cfg.row_bytes, cfg.seed);
         for arch in [
             Arch::Gpgpu,

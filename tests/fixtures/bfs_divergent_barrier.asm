@@ -1,0 +1,16 @@
+# Seeded bug (BFS relaxation, see crates/workloads/src/bfs.rs): the level
+# barrier between frontier sweeps is only reached by threads whose edge
+# source is already reached — a thread whose source is UNREACHED takes the
+# skip path and never arrives, leaving its corelet siblings waiting forever.
+# verify-config: local-bytes=128
+# verify-expect: MV009
+    ld.in r10, 0(r1)        # packed edge word for this thread's record
+    andi r11, r10, 60       # src slot -> dist[] byte offset
+    ld.local r12, 0(r11)    # dist[src]
+    li   r13, 2147483647    # UNREACHED sentinel
+    beq  r12, r13, skip     # source not on the frontier: skip relaxation
+    addi r12, r12, 1
+    st.local r12, 64(r11)   # relax next[dst]
+    bar                     # level barrier — control-dependent on divergence
+skip:
+    halt

@@ -1,0 +1,17 @@
+# Seeded bug (GEMM tile, see crates/workloads/src/gemm.rs): the A and B
+# tiles are packed into a 128-byte input image (A at 0..63, B at 64..127),
+# but the second term of the dot product walks the B column one full row
+# past the declared tile — a constant address the verifier can prove OOB.
+# verify-config: input-bytes=128
+# verify-expect: MV006
+    li   r10, 0             # accumulator c[0][0]
+    ld.in r11, 0(r0)        # a[0][0]
+    ld.in r12, 64(r0)       # b[0][0]
+    mul  r13, r11, r12
+    add  r10, r10, r13
+    ld.in r11, 4(r0)        # a[0][1]
+    ld.in r12, 128(r0)      # b[1][0] — one row past the declared tile
+    mul  r13, r11, r12
+    add  r10, r10, r13
+    st.local r10, 0(r0)
+    halt

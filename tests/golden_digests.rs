@@ -64,6 +64,42 @@ const GOLDEN: &[(Arch, Benchmark, u64)] = &[
     ),
     (Arch::Millipede, Benchmark::Sample, 0xc5fc82864f4e07c0),
     (Arch::Multicore, Benchmark::Sample, 0xbbba073acf853af9),
+    // Workload families (graph + dense): one benchmark from each family
+    // pinned on all eight variants, so a behavioural change that only
+    // affects the new kernels' irregular access patterns (indexed LOCAL
+    // stores, divergent branches, finalize loops) still trips the snapshot.
+    (Arch::Gpgpu, Benchmark::Pagerank, 0xcc2501f1d3f725e6),
+    (Arch::Vws, Benchmark::Pagerank, 0xaa4edd074c3e7c80),
+    (Arch::Ssmc, Benchmark::Pagerank, 0x7692ff0cd89f70cf),
+    (
+        Arch::MillipedeNoFlowControl,
+        Benchmark::Pagerank,
+        0x1e9fca47162cf748,
+    ),
+    (Arch::VwsRow, Benchmark::Pagerank, 0x0ae2ad7fd44e3cf8),
+    (
+        Arch::MillipedeNoRateMatch,
+        Benchmark::Pagerank,
+        0x9c33ddfb90878d6e,
+    ),
+    (Arch::Millipede, Benchmark::Pagerank, 0x6164af4df389b6aa),
+    (Arch::Multicore, Benchmark::Pagerank, 0x16d3f2b3eb5e8e6c),
+    (Arch::Gpgpu, Benchmark::StreamAdd, 0x3af2364f824e6b7d),
+    (Arch::Vws, Benchmark::StreamAdd, 0xf060266d93c18976),
+    (Arch::Ssmc, Benchmark::StreamAdd, 0xc08703321c1d3a00),
+    (
+        Arch::MillipedeNoFlowControl,
+        Benchmark::StreamAdd,
+        0x175f2b1b394aa3d0,
+    ),
+    (Arch::VwsRow, Benchmark::StreamAdd, 0x4fc9ade33b926aaf),
+    (
+        Arch::MillipedeNoRateMatch,
+        Benchmark::StreamAdd,
+        0xe29c7eae7b18c6fa,
+    ),
+    (Arch::Millipede, Benchmark::StreamAdd, 0x0b0ee745b3c488eb),
+    (Arch::Multicore, Benchmark::StreamAdd, 0x4d2f03b6f8f9a7fd),
 ];
 
 #[test]

@@ -332,6 +332,100 @@ fn controller_conserves_requests() {
 }
 
 // ---------------------------------------------------------------------
+// Synthetic-graph generator: every generated CSR is well-formed, and the
+// graph workloads built from it agree with their host references.
+// ---------------------------------------------------------------------
+
+#[test]
+fn synthetic_graphs_are_well_formed_csr() {
+    use millipede::workloads::graph::SynthGraph;
+    let mut rng = Rng::new(108);
+    for case in 0..64 {
+        let v = rng.usize_in(2, 128);
+        let e = rng.usize_in(1, 512);
+        let seed = rng.next_u64();
+        let g = SynthGraph::generate(v, e, seed);
+        let problems = g.check_csr();
+        assert!(
+            problems.is_empty(),
+            "case {case} (v={v} e={e} seed={seed:#x}): {problems:?}"
+        );
+        assert_eq!(g.num_edges(), e, "case {case}: edge count");
+        // The generator is a pure function of its arguments.
+        let h = SynthGraph::generate(v, e, seed);
+        assert_eq!(g.edges, h.edges, "case {case}: not deterministic");
+        // Degrees sum to the edge count (row_ptr is a true prefix sum).
+        let total: u64 = (0..v).map(|u| u64::from(g.out_degree(u))).sum();
+        assert_eq!(total, g.num_edges() as u64, "case {case}: degree sum");
+    }
+}
+
+#[test]
+fn new_workloads_match_reference_on_random_small_instances() {
+    use millipede::sim::{run_one, Arch, SimConfig};
+    use millipede::workloads::Benchmark;
+    let mut rng = Rng::new(109);
+    let benches: Vec<Benchmark> = Benchmark::GRAPH
+        .iter()
+        .chain(Benchmark::DENSE.iter())
+        .copied()
+        .collect();
+    for case in 0..12 {
+        let bench = *rng.pick(&benches);
+        let arch = *rng.pick(&[Arch::Gpgpu, Arch::Ssmc, Arch::Millipede, Arch::Multicore]);
+        let cfg = SimConfig {
+            num_chunks: rng.usize_in(1, 4),
+            seed: rng.range(1, 1 << 20),
+            ..SimConfig::default()
+        };
+        // run_one panics if the simulated output diverges from the
+        // host-side reference model.
+        let r = run_one(arch, bench, &cfg);
+        assert!(
+            r.node.output_ok,
+            "case {case}: {} on {} (chunks={} seed={}) diverged",
+            bench.name(),
+            arch.label(),
+            cfg.num_chunks,
+            cfg.seed
+        );
+    }
+}
+
+#[test]
+fn sweep_digests_are_stable_under_worker_count() {
+    // MILLIPEDE_SWEEP_THREADS only changes which worker runs which point;
+    // the per-point results must be bit-identical and order-preserved for
+    // any thread count (run_many_with takes the count directly, so this
+    // holds regardless of the env var).
+    use millipede::sim::{digest_run, run_many_with, Arch, SimConfig};
+    use millipede::workloads::Benchmark;
+    let pairs = [
+        (Arch::Millipede, Benchmark::Pagerank),
+        (Arch::Gpgpu, Benchmark::Bfs),
+        (Arch::Ssmc, Benchmark::Gemm),
+        (Arch::Vws, Benchmark::StreamAdd),
+        (Arch::VwsRow, Benchmark::Reduction),
+        (Arch::Multicore, Benchmark::Scan),
+    ];
+    let cfg = SimConfig {
+        num_chunks: 2,
+        ..SimConfig::default()
+    };
+    let baseline: Vec<u64> = run_many_with(&pairs, &cfg, 1)
+        .iter()
+        .map(digest_run)
+        .collect();
+    for threads in [2, 3, 8] {
+        let digests: Vec<u64> = run_many_with(&pairs, &cfg, threads)
+            .iter()
+            .map(digest_run)
+            .collect();
+        assert_eq!(digests, baseline, "threads={threads}: sweep digests moved");
+    }
+}
+
+// ---------------------------------------------------------------------
 // ALU semantics: total (never panic) and consistent with Rust reference
 // semantics where defined.
 // ---------------------------------------------------------------------

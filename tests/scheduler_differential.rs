@@ -93,6 +93,32 @@ fn wheel_and_poll_digests_agree_on_random_points() {
 }
 
 #[test]
+fn wheel_matches_poll_on_every_new_family_workload() {
+    // The randomized sweep above may or may not draw the graph/dense
+    // benchmarks; pin them explicitly. Their kernels stress exactly what a
+    // scheduler bug would perturb — data-dependent indexed LOCAL traffic
+    // (pagerank/bfs), divergent skip paths (bfs), and long finalize bursts
+    // (gemm) — so each must be bit-identical under both schedulers on the
+    // full Millipede model and on the plain GPGPU baseline.
+    for &bench in Benchmark::GRAPH.iter().chain(Benchmark::DENSE.iter()) {
+        for arch in [Arch::Gpgpu, Arch::Millipede] {
+            let mk = |scheduler| SimConfig {
+                num_chunks: 3,
+                scheduler,
+                ..SimConfig::default()
+            };
+            let poll = run_one(arch, bench, &mk(SchedulerKind::Poll));
+            let wheel = run_one(arch, bench, &mk(SchedulerKind::Wheel));
+            let label = format!("{} on {}", bench.name(), arch.label());
+            assert!(poll.node.output_ok && wheel.node.output_ok, "{label}");
+            assert_eq!(digest_run(&poll), digest_run(&wheel), "{label}");
+            assert_eq!(poll.node.elapsed_ps, wheel.node.elapsed_ps, "{label}");
+            assert_eq!(poll.node.output, wheel.node.output, "{label}");
+        }
+    }
+}
+
+#[test]
 fn wheel_matches_poll_across_random_dfs_periods() {
     // Rate matching is the wheel's hardest case: a DFS adjustment changes
     // the compute period mid-run and reschedules from the *last* compute
