@@ -92,6 +92,46 @@ print(f"trace OK: {len(events)} events")
 EOF
 fi
 
+echo "==> observability (manifests + millipede-cli report)"
+# Run manifests are observational: two short sweeps with --manifest-out must
+# leave stdout byte-identical to a plain run, emit millipede-manifest/1 JSON
+# that an independent parser accepts with the host self-profiling populated,
+# render and diff through `millipede-cli report`, and regression-check
+# against the committed BENCH baseline (huge threshold: this leg gates the
+# plumbing, not this host's speed; the digest-invisibility and
+# injected-regression bars live in tests/manifest.rs).
+manifest_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$manifest_dir"' EXIT
+./target/release/fig3 --chunks 2 --quiet > "$manifest_dir/plain.out"
+./target/release/fig3 --chunks 2 --quiet \
+    --manifest-out "$manifest_dir/a.json" > "$manifest_dir/a.out"
+./target/release/fig3 --chunks 2 --quiet \
+    --manifest-out "$manifest_dir/b.json" > "$manifest_dir/b.out"
+cmp "$manifest_dir/plain.out" "$manifest_dir/a.out"
+cmp "$manifest_dir/plain.out" "$manifest_dir/b.out"
+if command -v python3 > /dev/null; then
+    python3 - "$manifest_dir/a.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "millipede-manifest/1", f"bad schema {doc.get('schema')}"
+host = doc["host"]
+assert host["phases_ms"]["run"] > 0, "run phase wall missing"
+assert host["retired_instructions_per_sec"] > 0, "retired-instr rate missing"
+assert host["sweep"]["points"] == len(doc["runs"]), "sweep points != runs"
+for run in doc["runs"]:
+    assert run["digest"].startswith("0x"), f"{run['label']}: missing digest"
+    assert run["metrics"], f"{run['label']}: empty metrics registry"
+print(f"manifest OK: {len(doc['runs'])} runs, {sum(len(r['metrics']) for r in doc['runs'])} metrics")
+EOF
+fi
+./target/release/millipede-cli report "$manifest_dir/a.json" > /dev/null
+./target/release/millipede-cli report --diff \
+    "$manifest_dir/a.json" "$manifest_dir/b.json" > /dev/null
+./target/release/millipede-cli count millipede --chunks 128 \
+    --manifest-out "$manifest_dir/cli.json" > /dev/null 2> /dev/null
+./target/release/millipede-cli report --check "$manifest_dir/cli.json" \
+    --baseline BENCH_9.json --threshold-pct 100000 | tail -n 1
+
 echo "==> kernel verifier sweep (millipede-audit --kernels)"
 # The audit binary's kernel-only mode: every compiled-in kernel (the eight
 # BMLAs plus the graph and dense families, from Benchmark::ALL) must verify
@@ -104,7 +144,7 @@ echo "==> kernel verifier (millipede-cli verify)"
 # exact code its `# verify-expect:` header declares. The JSON report must
 # parse.
 verify_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir" "$verify_dir"' EXIT
+trap 'rm -rf "$trace_dir" "$manifest_dir" "$verify_dir"' EXIT
 ./target/release/millipede-cli verify --kernels --json > "$verify_dir/kernels.json"
 # Fixture sweep: the CLI exits 1 when any fixture is dirty — expected here,
 # so capture the report and let the checker below judge it.

@@ -16,7 +16,7 @@
 //! | `unwrap-in-hot-path` | no `.unwrap()` / `.expect()` in non-test simulator hot paths |
 //! | `float-eq`         | no `==` / `!=` against floating-point literals |
 //! | `module-doc`       | every module starts with a `//!` doc comment |
-//! | `wall-clock`       | no `Instant` / `SystemTime` in telemetry code — every telemetry timestamp must be simulated time |
+//! | `wall-clock`       | no `Instant` / `SystemTime` in telemetry or metrics code — every recorded timestamp must be simulated time; the one exemption is the metrics crate's self-profiling module |
 //! | `raw-fetch`        | no raw `.fetch(` instruction decode in timing-model per-cycle paths — models must execute through `DecodedProgram` so every instruction is decoded exactly once |
 //!
 //! A violation can be suppressed, with a reason, by a comment on the same
@@ -124,8 +124,15 @@ const HOT_PATH_CRATES: [&str; 8] = [
 /// Crates whose code must never read the host clock for the `wall-clock`
 /// lint. Telemetry output feeds determinism-sensitive artifacts (traces,
 /// CSVs, digest differentials), so every timestamp it records must come
-/// from the simulated clock.
-const NO_WALL_CLOCK_CRATES: [&str; 1] = ["crates/telemetry"];
+/// from the simulated clock; the metrics registry feeds run manifests,
+/// where the only sanctioned host-time consumer is the dedicated
+/// self-profiling module in [`WALL_CLOCK_EXEMPT_FILES`].
+const NO_WALL_CLOCK_CRATES: [&str; 2] = ["crates/telemetry", "crates/metrics"];
+
+/// Files inside [`NO_WALL_CLOCK_CRATES`] that are allowed to read the host
+/// clock: exactly the metrics crate's self-profiling module, whose entire
+/// purpose is to measure host phase walls for the run manifest.
+const WALL_CLOCK_EXEMPT_FILES: [&str; 1] = ["crates/metrics/src/selfprof.rs"];
 
 /// Timing-model crates whose per-cycle paths must execute through the
 /// predecoded interpreter (`millipede-engine`'s `DecodedProgram`) for the
@@ -329,7 +336,8 @@ fn has_float_literal_comparison(code: &str) -> bool {
 pub fn scan_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let hot_path = HOT_PATH_CRATES.iter().any(|c| rel_path.starts_with(c));
-    let no_wall_clock = NO_WALL_CLOCK_CRATES.iter().any(|c| rel_path.starts_with(c));
+    let no_wall_clock = NO_WALL_CLOCK_CRATES.iter().any(|c| rel_path.starts_with(c))
+        && !WALL_CLOCK_EXEMPT_FILES.contains(&rel_path);
     let model_crate = MODEL_CRATES.iter().any(|c| rel_path.starts_with(c));
     let hash_names: [String; 2] = [
         ["Hash", "Map"].concat(), // split so the auditor never flags itself
@@ -429,7 +437,8 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
                     file: rel_path.to_string(),
                     line: lineno,
                     lint: Lint::WallClock,
-                    message: "host wall-clock in telemetry code; timestamps must be simulated time"
+                    message: "host wall-clock in telemetry/metrics code; timestamps must be \
+                              simulated time (self-profiling belongs in crates/metrics/src/selfprof.rs)"
                         .to_string(),
                 });
             }
@@ -685,6 +694,24 @@ mod tests {
         let src =
             "//! D.\n// audit:allow(wall-clock): doc example only\nuse std::time::SystemTime;\n";
         assert!(scan_source("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_covers_metrics_except_selfprof() {
+        // Negative fixture: host time anywhere else in crates/metrics is a
+        // violation...
+        let src = "//! D.\nfn f() -> std::time::Instant { std::time::Instant::now() }\n";
+        assert_eq!(
+            lints_of("crates/metrics/src/lib.rs", src),
+            vec![Lint::WallClock]
+        );
+        assert_eq!(
+            lints_of("crates/metrics/src/json.rs", src),
+            vec![Lint::WallClock]
+        );
+        // ...but the dedicated self-profiling module is the one sanctioned
+        // consumer and passes without an allow comment.
+        assert!(scan_source("crates/metrics/src/selfprof.rs", src).is_empty());
     }
 
     #[test]

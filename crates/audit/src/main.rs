@@ -15,15 +15,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Verifies every compiled-in kernel (`Benchmark::ALL`, so new benchmarks
-/// join the sweep automatically); returns the diagnostic count.
+/// Verifies every compiled-in kernel (enumerated through the shared
+/// `kernel_benchmarks` helper, pinned to `Benchmark::ALL`, so new
+/// benchmarks join the sweep automatically); returns the diagnostic count.
 fn sweep_kernels() -> usize {
     use millipede_verify::{verify_program, VerifyConfig};
-    use millipede_workloads::{Benchmark, Workload};
+    use millipede_workloads::{kernel_benchmarks, kernel_workload};
 
     let mut total = 0;
-    for &bench in &Benchmark::ALL {
-        let w = Workload::build(bench, 1, 2048, 1);
+    for bench in kernel_benchmarks() {
+        let w = kernel_workload(bench);
         let config = VerifyConfig {
             local_bytes: Some(w.live_bytes as u64),
             ..VerifyConfig::default()

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! <bin> [--chunks N] [--seed S] [--csv] [--profile] [--quiet]
-//!       [--trace-out PATH] [--telemetry-epoch CYCLES]
+//!       [--trace-out PATH] [--telemetry-epoch CYCLES] [--manifest-out PATH]
 //! ```
 //!
 //! and prints the regenerated table to stdout. `--profile` prints a host
@@ -12,12 +12,19 @@
 //! (stdout stays byte-identical with or without it). `--trace-out` enables
 //! cycle-domain telemetry and writes a combined Chrome-trace/Perfetto JSON
 //! for the sweep; `--telemetry-epoch` sets the sampling epoch in compute
-//! cycles (and also enables telemetry). `--quiet` suppresses all stderr
-//! reporting. The defaults match `SimConfig::default()` (48 chunks ≈
-//! 1.5–6 MB of input depending on the benchmark's record arity — well past
-//! the steady state the paper argues for, §V).
+//! cycles (and also enables telemetry). `--manifest-out` writes a
+//! `millipede-manifest/1` JSON (config fingerprint, per-run digests and
+//! metrics, host self-profiling) after the sweep; setting
+//! `MILLIPEDE_METRICS` prints the same document to stderr without a file.
+//! `--quiet` suppresses all stderr reporting. The defaults match
+//! `SimConfig::default()` (48 chunks ≈ 1.5–6 MB of input depending on the
+//! benchmark's record arity — well past the steady state the paper argues
+//! for, §V).
 
+use millipede_metrics::{MetricsConfig, SelfProfile};
+use millipede_sim::manifest::ManifestRun;
 use millipede_sim::{RunResult, SimConfig, TelemetryConfig};
+use std::cell::RefCell;
 use std::path::PathBuf;
 
 /// Parsed command-line arguments shared by the experiment binaries.
@@ -36,6 +43,14 @@ pub struct Args {
     /// Write a Chrome-trace/Perfetto JSON of the sweep's telemetry here
     /// (`--trace-out`; implies telemetry on).
     pub trace_out: Option<PathBuf>,
+    /// Write a `millipede-manifest/1` JSON of the sweep here
+    /// (`--manifest-out`).
+    pub manifest_out: Option<PathBuf>,
+    /// Host self-profile opened at parse time: `decode` covers argument
+    /// and workload setup, [`report`] closes `run` and opens `report`.
+    /// Interior-mutable so the widely-used `report(&Args, ..)` signature
+    /// stays unchanged.
+    pub selfprof: RefCell<SelfProfile>,
 }
 
 /// Parses the common `--chunks` / `--seed` arguments.
@@ -53,11 +68,14 @@ pub fn config_and_format_from_args() -> (SimConfig, bool) {
 /// Parses all shared arguments: `--chunks`, `--seed`, `--csv`,
 /// `--profile`, `--quiet`, `--trace-out`, `--telemetry-epoch`.
 pub fn parse() -> Args {
+    let mut selfprof = SelfProfile::start();
+    selfprof.begin("decode");
     let mut cfg = SimConfig::default();
     let mut csv = false;
     let mut profile = false;
     let mut quiet = false;
     let mut trace_out: Option<PathBuf> = None;
+    let mut manifest_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -97,24 +115,38 @@ pub fn parse() -> Args {
                     .unwrap_or_else(|| usage("--telemetry-epoch needs a positive cycle count"));
                 cfg.telemetry = TelemetryConfig::enabled_with_epoch(epoch);
             }
+            "--manifest-out" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .filter(|p| !p.is_empty())
+                    .unwrap_or_else(|| usage("--manifest-out needs a file path"));
+                manifest_out = Some(PathBuf::from(path));
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
+    // Everything from here until report() is the sweep itself.
+    selfprof.begin("run");
     Args {
         cfg,
         csv,
         profile,
         quiet,
         trace_out,
+        manifest_out,
+        selfprof: RefCell::new(selfprof),
     }
 }
 
 /// Shared post-sweep reporting: the `--profile` table and the telemetry
 /// summary go to stderr (suppressed by `--quiet`; stdout is never
-/// touched), and the combined Chrome trace is written to `--trace-out`
-/// when requested.
+/// touched), the combined Chrome trace is written to `--trace-out` when
+/// requested, and the run manifest is written to `--manifest-out` (or
+/// printed to stderr under `MILLIPEDE_METRICS` with no path).
 pub fn report(args: &Args, runs: &[&RunResult]) {
+    args.selfprof.borrow_mut().begin("report");
     if args.profile && !args.quiet {
         eprint!("{}", millipede_sim::report::profile(runs));
     }
@@ -134,12 +166,43 @@ pub fn report(args: &Args, runs: &[&RunResult]) {
             eprintln!("wrote Chrome trace to {}", path.display());
         }
     }
+    if args.manifest_out.is_some() || MetricsConfig::from_env().enabled {
+        let doc = {
+            // Close `report` so its wall is in the manifest, then render
+            // outside the borrow (render reads the profile immutably).
+            let mut prof = args.selfprof.borrow_mut();
+            prof.end();
+            let entries: Vec<ManifestRun> = runs
+                .iter()
+                .map(|r| ManifestRun::new(r, &args.cfg))
+                .collect();
+            millipede_sim::manifest::render(
+                &args.cfg,
+                &prof,
+                millipede_sim::sweep_threads(),
+                &entries,
+            )
+        };
+        match &args.manifest_out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("error: could not write manifest to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                if !args.quiet {
+                    eprintln!("wrote run manifest to {}", path.display());
+                }
+            }
+            None if !args.quiet => eprint!("{doc}"),
+            None => {}
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: <bin> [--chunks N] [--seed S] [--csv] [--profile] [--quiet] \
-         [--trace-out PATH] [--telemetry-epoch CYCLES]"
+         [--trace-out PATH] [--telemetry-epoch CYCLES] [--manifest-out PATH]"
     );
     std::process::exit(2);
 }

@@ -29,8 +29,9 @@ pub use run_impl::run;
 mod run_impl {
     use super::*;
     use millipede_engine::{
-        mhz_for_period_ps, period_ps_for_mhz, AccessClass, Arena2, CoreStats, DecodedProgram,
-        DualClock, Edge, EventWheel, FlagGrid, StepEffect, ThreadCtx,
+        instrument, mhz_for_period_ps, period_ps_for_mhz, AccessClass, Arena2, CoreStats,
+        DecodedProgram, DualClock, Edge, EventWheel, FlagGrid, Instrumented, Quiescence,
+        ReplayDeltas, StepEffect, ThreadCtx,
     };
     use millipede_mapreduce::ThreadGrid;
     use millipede_telemetry::Telemetry;
@@ -60,21 +61,97 @@ mod run_impl {
         burst: Arena2<u32>,
     }
 
-    /// Compute-sleep bookkeeping for the event wheel: what the quiescent
-    /// state looked like when the processor went to sleep.
-    struct Sleep {
-        /// DRAM queue free slots at sleep entry. A later increase is
-        /// compute-visible only if the queue was full (a blocked fetch or
-        /// bypass push may be waiting); otherwise nothing was blocked on
-        /// it and nothing new can block while asleep.
-        free_slots: usize,
-        /// Compute-cycle count at sleep entry (telemetry anchor).
-        anchor_cycle: u64,
-        /// Wall time of the sleep-entry compute edge (telemetry anchor).
-        /// The compute period cannot change while asleep — DFS signals
-        /// need compute activity — so skipped cycle `k` after the anchor
-        /// happened at exactly `anchor_now + k·period`.
-        anchor_now: TimePs,
+    /// Borrowing instrumentation view over the run loop's state,
+    /// implementing the shared [`Instrumented`] contract (see
+    /// `millipede_engine::instrument`).
+    struct Model<'a> {
+        pbuf: &'a RowPrefetchBuffer,
+        mc: &'a MemoryController,
+        stats: &'a CoreStats,
+        rate: &'a RateMatcher,
+        clock_audit: &'a InvariantChecker,
+        /// Current compute period (the rate matcher's DFS output).
+        period: TimePs,
+        slots_per_cycle: u64,
+    }
+
+    impl Instrumented for Model<'_> {
+        fn prefix(&self) -> &'static str {
+            "core"
+        }
+
+        // Quiescence fingerprint: a sum of monotone counters that every
+        // observable compute-edge state change bumps (prefetch push,
+        // stall transition, demand fetch, pbuf allocation / flow block /
+        // premature eviction). If a compute edge issues nothing *and*
+        // leaves this sum unchanged, it changed nothing at all: the fetch
+        // pump either had nothing to take or restored the queue exactly
+        // (`untake_fetch`), every context saw the same pbuf/bypass state
+        // it will see next cycle, and no rate-matcher signal fired (Full
+        // needs an issue, Empty needs a stall transition). Such edges
+        // repeat verbatim until the memory controller acts, so they can
+        // be skipped in bulk (see DESIGN.md, "Idle-cycle fast-forward").
+        fn fingerprint(&self) -> u64 {
+            let p = self.pbuf.stats();
+            self.stats.prefetches
+                + self.stats.demand_stalls
+                + self.stats.demand_fetches
+                + p.prefetches
+                + p.flow_blocks
+                + p.premature_evictions
+        }
+
+        fn sample_epoch(&self, tel: &mut Telemetry, due: u64, at: TimePs, rewind: u64) {
+            let slots = rewind * self.slots_per_cycle;
+            let p = self.pbuf.stats();
+            tel.counter(
+                "core::pbuf",
+                "occupancy",
+                due,
+                at,
+                self.pbuf.occupancy() as f64,
+            );
+            tel.counter("core::pbuf", "flow_blocks", due, at, p.flow_blocks as f64);
+            tel.counter(
+                "core::pbuf",
+                "demand_stalls",
+                due,
+                at,
+                self.stats.demand_stalls as f64,
+            );
+            tel.counter(
+                "core::rate",
+                "frequency_mhz",
+                due,
+                at,
+                mhz_for_period_ps(self.period),
+            );
+            tel.counter(
+                "core::processor",
+                "issue_slots",
+                due,
+                at,
+                (self.stats.issue_slots - slots) as f64,
+            );
+            tel.counter(
+                "core::processor",
+                "stall_slots",
+                due,
+                at,
+                (self.stats.stall_slots - slots) as f64,
+            );
+            let d = self.mc.stats();
+            instrument::sample_dram(tel, due, at, d.row_hits, d.row_misses, self.mc.queue_len());
+        }
+
+        // End-of-run sanitizer report (all no-ops when the checks are
+        // off).
+        fn assert_clean(&self) {
+            self.pbuf.audit().assert_clean("row prefetch buffer");
+            self.rate.audit().assert_clean("rate matcher");
+            self.mc.timing_audit().assert_clean("memory controller");
+            self.clock_audit.assert_clean("clock domains");
+        }
     }
 
     /// Runs `workload` to completion on one Millipede processor.
@@ -155,34 +232,12 @@ mod run_impl {
         let total_threads = cfg.corelets * cfg.contexts;
         let mut halted = 0usize;
         let mut cycle: u64 = 0;
-        let mut idle_streak: u64 = 0;
         let mut last_time: TimePs = 0;
         let mut tel = Telemetry::new(&cfg.telemetry);
         // Rate-matcher trace entries already converted to freq_step events.
         let mut rate_drained = 0usize;
-        // Wheel mode: Some while the compute domain is in deep sleep.
-        let mut sleep: Option<Sleep> = None;
-
-        // Quiescence fingerprint: a sum of monotone counters that every
-        // observable compute-edge state change bumps (prefetch push,
-        // stall transition, demand fetch, pbuf allocation / flow block /
-        // premature eviction). If a compute edge issues nothing *and*
-        // leaves this sum unchanged, it changed nothing at all: the fetch
-        // pump either had nothing to take or restored the queue exactly
-        // (`untake_fetch`), every context saw the same pbuf/bypass state it
-        // will see next cycle, and no rate-matcher signal fired (Full needs
-        // an issue, Empty needs a stall transition). Such edges repeat
-        // verbatim until the memory controller acts, so they can be
-        // skipped in bulk (see DESIGN.md, "Idle-cycle fast-forward").
-        let fingerprint = |stats: &CoreStats, pbuf: &RowPrefetchBuffer| {
-            let p = pbuf.stats();
-            stats.prefetches
-                + stats.demand_stalls
-                + stats.demand_fetches
-                + p.prefetches
-                + p.flow_blocks
-                + p.premature_evictions
-        };
+        let slots_per_cycle = cfg.corelets as u64;
+        let mut quiesce = Quiescence::new("Millipede", slots_per_cycle, cfg.max_idle_cycles);
 
         while halted < total_threads {
             if wheel.kind().is_wheel() {
@@ -196,7 +251,16 @@ mod run_impl {
                     clock_audit.on_clock_edge(ClockDomain::Compute, now);
                     last_time = now;
                     cycle += 1;
-                    let fp_before = fingerprint(&stats, &pbuf);
+                    let fp_before = Model {
+                        pbuf: &pbuf,
+                        mc: &mc,
+                        stats: &stats,
+                        rate: &rate,
+                        clock_audit: &clock_audit,
+                        period: wheel.compute_period(),
+                        slots_per_cycle,
+                    }
+                    .fingerprint();
                     let tel_flow_blocks_before = pbuf.stats().flow_blocks;
                     // Hand pending row prefetches to the controller.
                     while mc.free_slots() > 0 {
@@ -242,46 +306,28 @@ mod run_impl {
                             stats.stall_slots += 1;
                         }
                     }
-                    idle_streak = if any_issued { 0 } else { idle_streak + 1 };
-                    assert!(
-                        idle_streak <= cfg.max_idle_cycles,
-                        "Millipede deadlock: no issue for {} cycles (pbuf {:?})",
-                        idle_streak,
-                        pbuf.stats()
-                    );
+                    quiesce.note_edge(any_issued);
                     let pre_ff_cycle = cycle;
-                    if cfg.fast_forward && !any_issued && fingerprint(&stats, &pbuf) == fp_before {
-                        if wheel.kind().is_wheel() {
-                            // Deep sleep: stop scheduling compute edges at
-                            // all. The channel arm replays the skipped
-                            // accounting and wakes us on the first
-                            // compute-visible change (a completed fill, or
-                            // a slot freeing on a full queue).
-                            if mc.next_event_at().is_some() {
-                                sleep = Some(Sleep {
-                                    free_slots: mc.free_slots(),
-                                    anchor_cycle: cycle,
-                                    anchor_now: now,
-                                });
-                                wheel.sleep_compute();
-                            }
-                        } else if let Some(event) = mc.next_event_at() {
-                            let skipped = wheel.fast_forward(event);
-                            // Replay the accounting the skipped no-op
-                            // edges would have produced: each visits every
-                            // corelet's issue slot and stalls it.
-                            cycle += skipped;
-                            stats.ff_skipped_cycles += skipped;
-                            stats.issue_slots += skipped * cfg.corelets as u64;
-                            stats.stall_slots += skipped * cfg.corelets as u64;
-                            idle_streak += skipped;
-                            assert!(
-                                idle_streak <= cfg.max_idle_cycles,
-                                "Millipede deadlock: no issue for {} cycles (pbuf {:?})",
-                                idle_streak,
-                                pbuf.stats()
-                            );
-                        }
+                    let fp_after = Model {
+                        pbuf: &pbuf,
+                        mc: &mc,
+                        stats: &stats,
+                        rate: &rate,
+                        clock_audit: &clock_audit,
+                        period: wheel.compute_period(),
+                        slots_per_cycle,
+                    }
+                    .fingerprint();
+                    if cfg.fast_forward && !any_issued && fp_after == fp_before {
+                        quiesce.quiesce(
+                            &mut wheel,
+                            mc.next_event_at(),
+                            mc.free_slots(),
+                            ReplayDeltas::default(),
+                            now,
+                            &mut cycle,
+                            &mut stats,
+                        );
                     }
                     // Telemetry: purely observational, never feeds back into
                     // simulated state, bit-identical results on or off.
@@ -301,16 +347,21 @@ mod run_impl {
                         // exactly — its time is `now + offset·period` and
                         // only the replayed per-cycle slot counters differ
                         // from the current state (rewound linearly).
-                        emit_epoch_samples(
+                        Model {
+                            pbuf: &pbuf,
+                            mc: &mc,
+                            stats: &stats,
+                            rate: &rate,
+                            clock_audit: &clock_audit,
+                            period: wheel.compute_period(),
+                            slots_per_cycle,
+                        }
+                        .emit_epoch_samples(
                             &mut tel,
-                            &pbuf,
-                            &mc,
-                            &stats,
                             cycle,
                             pre_ff_cycle,
                             now,
                             wheel.compute_period(),
-                            cfg.corelets as u64,
                         );
                     }
                 }
@@ -319,32 +370,23 @@ mod run_impl {
                     // slept through *before* this edge acts, so counters
                     // and telemetry samples see exactly the state the
                     // polled schedule's replay would have seen.
-                    let skipped = wheel.drain_skipped();
-                    if skipped > 0 {
-                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
-                        let s = sleep.as_ref().expect("skipped edges outside sleep");
-                        cycle += skipped;
-                        stats.ff_skipped_cycles += skipped;
-                        stats.issue_slots += skipped * cfg.corelets as u64;
-                        stats.stall_slots += skipped * cfg.corelets as u64;
-                        idle_streak += skipped;
-                        assert!(
-                            idle_streak <= cfg.max_idle_cycles,
-                            "Millipede deadlock: no issue for {} cycles (pbuf {:?})",
-                            idle_streak,
-                            pbuf.stats()
-                        );
+                    if let Some((_, s)) = quiesce.drain(&mut wheel, &mut cycle, &mut stats) {
                         if tel.enabled() {
-                            emit_epoch_samples(
+                            Model {
+                                pbuf: &pbuf,
+                                mc: &mc,
+                                stats: &stats,
+                                rate: &rate,
+                                clock_audit: &clock_audit,
+                                period: wheel.compute_period(),
+                                slots_per_cycle,
+                            }
+                            .emit_epoch_samples(
                                 &mut tel,
-                                &pbuf,
-                                &mc,
-                                &stats,
                                 cycle,
                                 s.anchor_cycle,
                                 s.anchor_now,
                                 wheel.compute_period(),
-                                cfg.corelets as u64,
                             );
                         }
                     }
@@ -374,20 +416,7 @@ mod run_impl {
                             pbuf.fill_complete(slot);
                         }
                     }
-                    if wheel.is_sleeping() {
-                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
-                        let s = sleep.as_ref().expect("sleeping without sleep state");
-                        // Wake on the first compute-visible change: a fill
-                        // landed, or a slot freed on a queue that was full
-                        // (a blocked fetch or bypass push may now go).
-                        // Waking early is always safe — a real poll of a
-                        // still-quiescent edge is a no-op — so this errs
-                        // conservative.
-                        if fills > 0 || (s.free_slots == 0 && mc.free_slots() > 0) {
-                            wheel.wake_compute();
-                            sleep = None;
-                        }
-                    }
+                    quiesce.maybe_wake(&mut wheel, fills, mc.free_slots());
                 }
             }
         }
@@ -402,11 +431,16 @@ mod run_impl {
         };
         stats.rate_trace = rate.trace().to_vec();
 
-        // End-of-run sanitizer report (all no-ops when the checks are off).
-        pbuf.audit().assert_clean("row prefetch buffer");
-        rate.audit().assert_clean("rate matcher");
-        mc.timing_audit().assert_clean("memory controller");
-        clock_audit.assert_clean("clock domains");
+        Model {
+            pbuf: &pbuf,
+            mc: &mc,
+            stats: &stats,
+            rate: &rate,
+            clock_audit: &clock_audit,
+            period: wheel.compute_period(),
+            slots_per_cycle,
+        }
+        .assert_clean();
 
         let states: Vec<&[u32]> = threads
             .t
@@ -423,76 +457,7 @@ mod run_impl {
             output,
             output_ok,
             telemetry: tel,
-        }
-    }
-
-    /// Emits every due epoch sample up to `cycle`, reconstructing times
-    /// from the anchor: sample `due` happened at
-    /// `anchor_now + (due − anchor_cycle)·period` (the compute schedule is
-    /// rigid across any skipped span), and the replayed per-cycle slot
-    /// counters are rewound linearly.
-    #[allow(clippy::too_many_arguments)]
-    fn emit_epoch_samples(
-        tel: &mut Telemetry,
-        pbuf: &RowPrefetchBuffer,
-        mc: &MemoryController,
-        stats: &CoreStats,
-        cycle: u64,
-        anchor_cycle: u64,
-        anchor_now: TimePs,
-        period: TimePs,
-        slots_per_cycle: u64,
-    ) {
-        while let Some(due) = tel.next_due(cycle) {
-            let at = anchor_now + (due - anchor_cycle) * period;
-            let rewind = (cycle - due) * slots_per_cycle;
-            let p = pbuf.stats();
-            let d = mc.stats();
-            tel.counter("core::pbuf", "occupancy", due, at, pbuf.occupancy() as f64);
-            tel.counter("core::pbuf", "flow_blocks", due, at, p.flow_blocks as f64);
-            tel.counter(
-                "core::pbuf",
-                "demand_stalls",
-                due,
-                at,
-                stats.demand_stalls as f64,
-            );
-            tel.counter(
-                "core::rate",
-                "frequency_mhz",
-                due,
-                at,
-                mhz_for_period_ps(period),
-            );
-            tel.counter(
-                "core::processor",
-                "issue_slots",
-                due,
-                at,
-                (stats.issue_slots - rewind) as f64,
-            );
-            tel.counter(
-                "core::processor",
-                "stall_slots",
-                due,
-                at,
-                (stats.stall_slots - rewind) as f64,
-            );
-            tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
-            tel.counter(
-                "dram::controller",
-                "row_misses",
-                due,
-                at,
-                d.row_misses as f64,
-            );
-            tel.counter(
-                "dram::controller",
-                "queue_depth",
-                due,
-                at,
-                mc.queue_len() as f64,
-            );
+            profile: wheel.profile(),
         }
     }
 

@@ -23,6 +23,7 @@ pub mod clock;
 pub mod context;
 pub mod decoded;
 pub mod func;
+pub mod instrument;
 pub mod stats;
 pub mod step;
 pub mod wheel;
@@ -32,6 +33,7 @@ pub use clock::{mhz_for_period_ps, period_ps_for_mhz, DualClock, Edge, TimePs};
 pub use context::{LaunchParams, ThreadCtx};
 pub use decoded::{AccessClass, DecodedProgram, MicroOp, OpCode};
 pub use func::{run_functional, FuncStats, DEFAULT_STEP_LIMIT};
+pub use instrument::{Instrumented, Quiescence, ReplayDeltas, Sleep};
 pub use stats::CoreStats;
 pub use step::{step, EffectiveAccess, StepEffect, Trap};
-pub use wheel::{EventWheel, SchedulerKind, WakeId};
+pub use wheel::{EventWheel, SchedulerKind, WakeId, WheelProfile};

@@ -72,6 +72,19 @@ impl SchedulerKind {
 #[derive(Debug, Clone, Copy)]
 pub struct WakeId(usize);
 
+/// Sleep/wake occupancy counters of one wheel's run.
+///
+/// Pure host observability for run manifests (deep-sleep entry/exit
+/// counts); never read back by the wheel or a model, so it is
+/// digest-invisible like `ff_skipped_cycles`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelProfile {
+    /// Times the compute domain entered deep sleep.
+    pub sleeps: u64,
+    /// Times a channel edge woke the compute domain.
+    pub wakes: u64,
+}
+
 /// A dual-clock edge scheduler with posted wake times.
 #[derive(Debug, Clone)]
 pub struct EventWheel {
@@ -80,6 +93,7 @@ pub struct EventWheel {
     posted: Vec<Option<TimePs>>,
     sleeping: bool,
     pending_skipped: u64,
+    profile: WheelProfile,
 }
 
 impl EventWheel {
@@ -91,6 +105,7 @@ impl EventWheel {
             posted: Vec::new(),
             sleeping: false,
             pending_skipped: 0,
+            profile: WheelProfile::default(),
         }
     }
 
@@ -191,17 +206,28 @@ impl EventWheel {
             self.earliest_wake().is_some(),
             "sleeping with no posted wake would never wake"
         );
+        if !self.sleeping {
+            self.profile.sleeps += 1;
+        }
         self.sleeping = true;
     }
 
     /// Leaves compute deep sleep; the next pop schedules normally.
     pub fn wake_compute(&mut self) {
+        if self.sleeping {
+            self.profile.wakes += 1;
+        }
         self.sleeping = false;
     }
 
     /// Whether the compute domain is in deep sleep.
     pub fn is_sleeping(&self) -> bool {
         self.sleeping
+    }
+
+    /// The sleep/wake occupancy counters accumulated so far.
+    pub fn profile(&self) -> WheelProfile {
+        self.profile
     }
 
     /// Takes the count of compute edges skipped while sleeping since the

@@ -32,8 +32,8 @@ use millipede_core::pbuf::{Lookup, RowPrefetchBuffer};
 use millipede_core::NodeResult;
 use millipede_dram::{MemoryController, Request, TimePs};
 use millipede_engine::{
-    period_ps_for_mhz, AccessClass, CoreStats, DecodedProgram, DualClock, Edge, EventWheel,
-    StepEffect, ThreadCtx,
+    instrument, period_ps_for_mhz, AccessClass, CoreStats, DecodedProgram, DualClock, Edge,
+    EventWheel, Instrumented, Quiescence, ReplayDeltas, StepEffect, ThreadCtx,
 };
 use millipede_isa::ReconvergenceMap;
 use millipede_mapreduce::ThreadGrid;
@@ -84,25 +84,100 @@ struct Sm {
     demand_block: u64,
 }
 
-/// Wheel-mode deep-sleep record: everything needed to replay the skipped
-/// edges' accounting by count and to decide when to wake (see DESIGN.md,
-/// "Event-wheel scheduler").
-struct Sleep {
-    /// DRAM queue slots free at sleep entry; if zero, a freed slot can
-    /// unblock a prefetch or a demand push, so it must wake the SM.
-    free_slots: usize,
-    /// Per-retry-edge recount rates at sleep entry (stalled warps re-probe
-    /// their blocks and re-count their stalls every cycle); constant while
-    /// asleep because SM state is frozen until a fill arrives — and a fill
-    /// wakes us.
-    stall_delta: u64,
-    hit_delta: u64,
-    miss_delta: u64,
-    /// Cycle count and wall time at sleep entry; telemetry samples due
-    /// inside the slept region are reconstructed from these (the compute
-    /// period cannot change while no warp issues).
-    anchor_cycle: u64,
-    anchor_now: TimePs,
+/// Borrowing instrumentation view over the run loop's state, implementing
+/// the shared [`Instrumented`] contract (see `millipede_engine::instrument`).
+struct Model<'a> {
+    sm: &'a Sm,
+    pbuf: Option<&'a RowPrefetchBuffer>,
+    mc: &'a MemoryController,
+    stats: &'a CoreStats,
+    /// L1 probes replayed for fast-forwarded edges so far (stalled warps
+    /// re-probe their coalesced blocks every cycle).
+    ff_l1_hits: u64,
+    ff_l1_misses: u64,
+    /// Per-retry-edge recount rates of the current quiescent edge.
+    deltas: ReplayDeltas,
+    slots_per_cycle: u64,
+}
+
+impl Instrumented for Model<'_> {
+    fn prefix(&self) -> &'static str {
+        "gpgpu"
+    }
+
+    // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
+    // every observable compute-edge mutation either bumps one of these
+    // monotone counters/cursors or is a per-retry-edge recount
+    // (demand_stalls, L1 hit/miss probes) that is replayed via the `ff_*`
+    // accumulators instead. `outstanding` catches MSHR secondary
+    // allocations, which bump no statistic. Warp wakeup timers
+    // (`busy_until`, `lsu_busy_until`) are cycle-keyed and independent of
+    // memory, so fast-forward is gated off entirely while any is pending.
+    fn fingerprint(&self) -> u64 {
+        let pbuf_sum = self.pbuf.map_or(0, |p| {
+            let s = p.stats();
+            s.prefetches + s.flow_blocks + s.premature_evictions
+        });
+        self.stats.prefetches
+            + self.stats.demand_fetches
+            + self.sm.pf_next
+            + self.sm.demand_block
+            + self.sm.outstanding_total
+            + pbuf_sum
+    }
+
+    fn sample_epoch(&self, tel: &mut Telemetry, due: u64, at: TimePs, rewind: u64) {
+        tel.counter(
+            "gpgpu::sm",
+            "l1_hits",
+            due,
+            at,
+            (self.sm.l1.stats().hits + self.ff_l1_hits - self.deltas.hits * rewind) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "l1_misses",
+            due,
+            at,
+            (self.sm.l1.stats().misses + self.ff_l1_misses - self.deltas.misses * rewind) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "demand_stalls",
+            due,
+            at,
+            (self.stats.demand_stalls - self.deltas.stalls * rewind) as f64,
+        );
+        let slots = rewind * self.slots_per_cycle;
+        tel.counter(
+            "gpgpu::sm",
+            "issue_slots",
+            due,
+            at,
+            (self.stats.issue_slots - slots) as f64,
+        );
+        tel.counter(
+            "gpgpu::sm",
+            "stall_slots",
+            due,
+            at,
+            (self.stats.stall_slots - slots) as f64,
+        );
+        if let Some(pbuf) = self.pbuf {
+            tel.counter("gpgpu::pbuf", "occupancy", due, at, pbuf.occupancy() as f64);
+        }
+        let d = self.mc.stats();
+        instrument::sample_dram(tel, due, at, d.row_hits, d.row_misses, self.mc.queue_len());
+    }
+
+    fn assert_clean(&self) {
+        if let Some(pbuf) = self.pbuf {
+            pbuf.audit().assert_clean("VWS-row prefetch buffer");
+        }
+        self.mc
+            .timing_audit()
+            .assert_clean("GPGPU memory controller");
+    }
 }
 
 /// Runs `workload` to completion on one SM.
@@ -191,11 +266,11 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
         cfg.scheduler,
     );
     let mc_wake = wheel.register();
-    let mut sleep: Option<Sleep> = None;
+    let slots_per_cycle = cfg.clusters() as u64;
+    let mut quiesce = Quiescence::new("GPGPU", slots_per_cycle, cfg.max_idle_cycles);
 
     let mut stats = CoreStats::default();
     let mut cycle: u64 = 0;
-    let mut idle_streak: u64 = 0;
     let mut last_time: TimePs = 0;
     let mut live_warps: usize = num_warps;
     // L1 probes the skipped edges would have re-counted (stalled warps
@@ -205,27 +280,6 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     let mut ff_l1_misses: u64 = 0;
     let mut tel = Telemetry::new(&cfg.telemetry);
 
-    // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
-    // every observable compute-edge mutation either bumps one of these
-    // monotone counters/cursors or is a per-retry-edge recount
-    // (demand_stalls, L1 hit/miss probes) that is replayed via the `ff_*`
-    // accumulators instead. `outstanding` catches MSHR secondary
-    // allocations, which bump no statistic. Warp wakeup timers
-    // (`busy_until`, `lsu_busy_until`) are cycle-keyed and independent of
-    // memory, so fast-forward is gated off entirely while any is pending.
-    let fingerprint = |stats: &CoreStats, sm: &Sm, pbuf: Option<&RowPrefetchBuffer>| -> u64 {
-        let pbuf_sum = pbuf.map_or(0, |p| {
-            let s = p.stats();
-            s.prefetches + s.flow_blocks + s.premature_evictions
-        });
-        stats.prefetches
-            + stats.demand_fetches
-            + sm.pf_next
-            + sm.demand_block
-            + sm.outstanding_total
-            + pbuf_sum
-    };
-
     while live_warps > 0 {
         if wheel.kind().is_wheel() {
             wheel.post(mc_wake, mc.next_event_at());
@@ -234,7 +288,17 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
             Edge::Compute(now) => {
                 last_time = now;
                 cycle += 1;
-                let fp_before = fingerprint(&stats, &sm, pbuf.as_ref());
+                let fp_before = Model {
+                    sm: &sm,
+                    pbuf: pbuf.as_ref(),
+                    mc: &mc,
+                    stats: &stats,
+                    ff_l1_hits,
+                    ff_l1_misses,
+                    deltas: ReplayDeltas::default(),
+                    slots_per_cycle,
+                }
+                .fingerprint();
                 let stalls_before = stats.demand_stalls;
                 let hits_before = sm.l1.stats().hits;
                 let misses_before = sm.l1.stats().misses;
@@ -266,109 +330,92 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                         stats.stall_slots += 1;
                     }
                 }
-                idle_streak = if any_issued { 0 } else { idle_streak + 1 };
-                assert!(
-                    idle_streak <= cfg.max_idle_cycles,
-                    "GPGPU deadlock: no issue for {idle_streak} cycles"
-                );
+                quiesce.note_edge(any_issued);
                 let pre_ff_cycle = cycle;
                 // Per-retry-edge recount rates of this edge, replayed over a
                 // fast-forwarded skip and rewound by telemetry sampling.
-                let stall_delta = stats.demand_stalls - stalls_before;
-                let hit_delta = sm.l1.stats().hits - hits_before;
-                let miss_delta = sm.l1.stats().misses - misses_before;
+                let deltas = ReplayDeltas {
+                    stalls: stats.demand_stalls - stalls_before,
+                    hits: sm.l1.stats().hits - hits_before,
+                    misses: sm.l1.stats().misses - misses_before,
+                };
                 if cfg.fast_forward
                     && !any_issued
                     && sm.lsu_busy_until <= cycle
                     && sm.busy_until.iter().all(|&b| b <= cycle)
-                    && fingerprint(&stats, &sm, pbuf.as_ref()) == fp_before
+                    && (Model {
+                        sm: &sm,
+                        pbuf: pbuf.as_ref(),
+                        mc: &mc,
+                        stats: &stats,
+                        ff_l1_hits,
+                        ff_l1_misses,
+                        deltas,
+                        slots_per_cycle,
+                    })
+                    .fingerprint()
+                        == fp_before
                 {
-                    if wheel.kind().is_wheel() {
-                        // Wheel mode: stop ticking entirely until a channel
-                        // edge produces a wake condition; the channel arm
-                        // replays the skipped edges' accounting by count.
-                        if mc.next_event_at().is_some() {
-                            sleep = Some(Sleep {
-                                free_slots: mc.free_slots(),
-                                stall_delta,
-                                hit_delta,
-                                miss_delta,
-                                anchor_cycle: cycle,
-                                anchor_now: now,
-                            });
-                            wheel.sleep_compute();
-                        }
-                    } else if let Some(event) = mc.next_event_at() {
-                        let skipped = wheel.fast_forward(event);
-                        stats.demand_stalls += stall_delta * skipped;
-                        ff_l1_hits += hit_delta * skipped;
-                        ff_l1_misses += miss_delta * skipped;
-                        cycle += skipped;
-                        stats.ff_skipped_cycles += skipped;
-                        stats.issue_slots += skipped * cfg.clusters() as u64;
-                        stats.stall_slots += skipped * cfg.clusters() as u64;
-                        idle_streak += skipped;
-                        assert!(
-                            idle_streak <= cfg.max_idle_cycles,
-                            "GPGPU deadlock: no issue for {idle_streak} cycles"
-                        );
-                    }
+                    let skipped = quiesce.quiesce(
+                        &mut wheel,
+                        mc.next_event_at(),
+                        mc.free_slots(),
+                        deltas,
+                        now,
+                        &mut cycle,
+                        &mut stats,
+                    );
+                    stats.demand_stalls += deltas.stalls * skipped;
+                    ff_l1_hits += deltas.hits * skipped;
+                    ff_l1_misses += deltas.misses * skipped;
                 }
                 // Telemetry epoch sampling (observational only). Boundaries
                 // inside a fast-forwarded region are reconstructed exactly
                 // by rewinding the replayed per-cycle counters linearly.
                 if tel.enabled() {
-                    emit_epoch_samples(
+                    Model {
+                        sm: &sm,
+                        pbuf: pbuf.as_ref(),
+                        mc: &mc,
+                        stats: &stats,
+                        ff_l1_hits,
+                        ff_l1_misses,
+                        deltas,
+                        slots_per_cycle,
+                    }
+                    .emit_epoch_samples(
                         &mut tel,
-                        &sm,
-                        pbuf.as_ref(),
-                        &mc,
-                        &stats,
-                        (ff_l1_hits, ff_l1_misses),
-                        (stall_delta, hit_delta, miss_delta),
                         cycle,
                         pre_ff_cycle,
                         now,
                         wheel.compute_period(),
-                        cfg.clusters() as u64,
                     );
                 }
             }
             Edge::Channel(now) => {
                 // Replay the accounting for compute edges the wheel slept
                 // through (poll mode never sleeps, so this drains zero).
-                let skipped = wheel.drain_skipped();
-                if skipped > 0 {
-                    let s = sleep
-                        .as_ref()
-                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
-                        .expect("skipped edges without a sleep record");
-                    cycle += skipped;
-                    stats.ff_skipped_cycles += skipped;
-                    stats.demand_stalls += s.stall_delta * skipped;
-                    ff_l1_hits += s.hit_delta * skipped;
-                    ff_l1_misses += s.miss_delta * skipped;
-                    stats.issue_slots += skipped * cfg.clusters() as u64;
-                    stats.stall_slots += skipped * cfg.clusters() as u64;
-                    idle_streak += skipped;
-                    assert!(
-                        idle_streak <= cfg.max_idle_cycles,
-                        "GPGPU deadlock: no issue for {idle_streak} cycles"
-                    );
+                if let Some((skipped, s)) = quiesce.drain(&mut wheel, &mut cycle, &mut stats) {
+                    stats.demand_stalls += s.deltas.stalls * skipped;
+                    ff_l1_hits += s.deltas.hits * skipped;
+                    ff_l1_misses += s.deltas.misses * skipped;
                     if tel.enabled() {
-                        emit_epoch_samples(
+                        Model {
+                            sm: &sm,
+                            pbuf: pbuf.as_ref(),
+                            mc: &mc,
+                            stats: &stats,
+                            ff_l1_hits,
+                            ff_l1_misses,
+                            deltas: s.deltas,
+                            slots_per_cycle,
+                        }
+                        .emit_epoch_samples(
                             &mut tel,
-                            &sm,
-                            pbuf.as_ref(),
-                            &mc,
-                            &stats,
-                            (ff_l1_hits, ff_l1_misses),
-                            (s.stall_delta, s.hit_delta, s.miss_delta),
                             cycle,
                             s.anchor_cycle,
                             s.anchor_now,
                             wheel.compute_period(),
-                            cfg.clusters() as u64,
                         );
                     }
                 }
@@ -400,19 +447,12 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
                             .fill_complete(slot);
                     }
                 }
-                if wheel.is_sleeping() {
-                    // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
-                    let s = sleep.as_ref().expect("asleep without a sleep record");
-                    // Wake on any fill (it unstalls a warp, frees an MSHR,
-                    // or readies a pbuf row) or when a full DRAM queue
-                    // gained room (it can unblock a prefetch or demand
-                    // push). Waking early is always bit-exact: the next
-                    // compute edge just proves quiescence again.
-                    if fills > 0 || (s.free_slots == 0 && mc.free_slots() > 0) {
-                        wheel.wake_compute();
-                        sleep = None;
-                    }
-                }
+                // Wake on any fill (it unstalls a warp, frees an MSHR,
+                // or readies a pbuf row) or when a full DRAM queue
+                // gained room (it can unblock a prefetch or demand
+                // push). Waking early is always bit-exact: the next
+                // compute edge just proves quiescence again.
+                quiesce.maybe_wake(&mut wheel, fills, mc.free_slots());
             }
         }
     }
@@ -424,9 +464,18 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
     if let Some(pbuf) = &pbuf {
         stats.flow_blocks = pbuf.stats().flow_blocks;
         stats.premature_evictions = pbuf.stats().premature_evictions;
-        pbuf.audit().assert_clean("VWS-row prefetch buffer");
     }
-    mc.timing_audit().assert_clean("GPGPU memory controller");
+    Model {
+        sm: &sm,
+        pbuf: pbuf.as_ref(),
+        mc: &mc,
+        stats: &stats,
+        ff_l1_hits,
+        ff_l1_misses,
+        deltas: ReplayDeltas::default(),
+        slots_per_cycle,
+    }
+    .assert_clean();
 
     // Reduce in the grid's (corelet=lane, context=warp-slot) order.
     let states: Vec<&[u32]> = (0..cfg.lanes)
@@ -442,88 +491,7 @@ pub fn run(workload: &Workload, cfg: &GpgpuConfig) -> NodeResult {
         output,
         output_ok,
         telemetry: tel,
-    }
-}
-
-/// Emits every telemetry sample due up to `cycle`, reconstructing sample
-/// timestamps and per-cycle counters from the given anchor (the current
-/// edge in poll mode, the sleep entry in wheel mode). `ff` is the
-/// `(ff_l1_hits, ff_l1_misses)` accumulators and `deltas` the per-edge
-/// `(stall, hit, miss)` recount rates to rewind by.
-#[allow(clippy::too_many_arguments)]
-fn emit_epoch_samples(
-    tel: &mut Telemetry,
-    sm: &Sm,
-    pbuf: Option<&RowPrefetchBuffer>,
-    mc: &MemoryController,
-    stats: &CoreStats,
-    ff: (u64, u64),
-    deltas: (u64, u64, u64),
-    cycle: u64,
-    anchor_cycle: u64,
-    anchor_now: TimePs,
-    period: TimePs,
-    slots_per_cycle: u64,
-) {
-    let (ff_l1_hits, ff_l1_misses) = ff;
-    let (stall_delta, hit_delta, miss_delta) = deltas;
-    while let Some(due) = tel.next_due(cycle) {
-        let at = anchor_now + (due - anchor_cycle) * period;
-        let rewind = cycle - due;
-        let d = mc.stats();
-        tel.counter(
-            "gpgpu::sm",
-            "l1_hits",
-            due,
-            at,
-            (sm.l1.stats().hits + ff_l1_hits - hit_delta * rewind) as f64,
-        );
-        tel.counter(
-            "gpgpu::sm",
-            "l1_misses",
-            due,
-            at,
-            (sm.l1.stats().misses + ff_l1_misses - miss_delta * rewind) as f64,
-        );
-        tel.counter(
-            "gpgpu::sm",
-            "demand_stalls",
-            due,
-            at,
-            (stats.demand_stalls - stall_delta * rewind) as f64,
-        );
-        tel.counter(
-            "gpgpu::sm",
-            "issue_slots",
-            due,
-            at,
-            (stats.issue_slots - rewind * slots_per_cycle) as f64,
-        );
-        tel.counter(
-            "gpgpu::sm",
-            "stall_slots",
-            due,
-            at,
-            (stats.stall_slots - rewind * slots_per_cycle) as f64,
-        );
-        if let Some(pbuf) = pbuf {
-            tel.counter("gpgpu::pbuf", "occupancy", due, at, pbuf.occupancy() as f64);
-        }
-        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
-        tel.counter(
-            "dram::controller",
-            "row_misses",
-            due,
-            at,
-            d.row_misses as f64,
-        );
-        tel.counter(
-            "dram::controller",
-            "queue_depth",
-            due,
-            at,
-            mc.queue_len() as f64,
-        );
+        profile: wheel.profile(),
     }
 }
 

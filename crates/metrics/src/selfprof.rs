@@ -1,0 +1,120 @@
+//! Host-side self-profiling: wall-clock phase timers for run manifests.
+//!
+//! This module is the **one sanctioned wall-clock consumer** in
+//! `crates/metrics`: the `wall-clock` audit lint covers this crate and
+//! exempts exactly this file. Everything recorded here describes what a
+//! run cost the *host* (decode/run/report phase walls, from which the
+//! manifest derives retired-instructions/sec and events/sec); none of it
+//! ever feeds back into simulated time or determinism digests.
+
+use std::time::Instant;
+
+/// Wall-clock phase profile of one driver process.
+///
+/// Phases are sequential and non-overlapping: [`SelfProfile::begin`]
+/// closes the running phase and opens the next, so a driver marks
+/// transitions (`decode` → `run` → `report`) without pairing calls.
+/// Re-entering a phase name accumulates into it.
+#[derive(Debug, Clone)]
+pub struct SelfProfile {
+    started: Instant,
+    /// Closed phases as `(name, milliseconds)`, in first-open order.
+    phases: Vec<(&'static str, f64)>,
+    current: Option<(&'static str, Instant)>,
+}
+
+impl SelfProfile {
+    /// Starts the profile clock with no phase open.
+    pub fn start() -> SelfProfile {
+        SelfProfile {
+            started: Instant::now(),
+            phases: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Closes the running phase (if any) and opens `phase`.
+    pub fn begin(&mut self, phase: &'static str) {
+        self.end();
+        self.current = Some((phase, Instant::now()));
+    }
+
+    /// Closes the running phase (if any).
+    pub fn end(&mut self) {
+        if let Some((name, since)) = self.current.take() {
+            let ms = since.elapsed().as_secs_f64() * 1e3;
+            match self.phases.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += ms,
+                None => self.phases.push((name, ms)),
+            }
+        }
+    }
+
+    /// Total milliseconds accumulated in `phase` (0 if never opened);
+    /// includes the running phase.
+    pub fn phase_ms(&self, phase: &str) -> f64 {
+        let closed = self
+            .phases
+            .iter()
+            .find(|(n, _)| *n == phase)
+            .map_or(0.0, |(_, ms)| *ms);
+        let open = match &self.current {
+            Some((name, since)) if *name == phase => since.elapsed().as_secs_f64() * 1e3,
+            _ => 0.0,
+        };
+        closed + open
+    }
+
+    /// The closed phases as `(name, milliseconds)`, in first-open order.
+    pub fn phases(&self) -> &[(&'static str, f64)] {
+        &self.phases
+    }
+
+    /// Milliseconds since the profile started.
+    pub fn total_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Default for SelfProfile {
+    fn default() -> Self {
+        SelfProfile::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_open_order() {
+        let mut p = SelfProfile::start();
+        p.begin("decode");
+        p.begin("run");
+        p.begin("report");
+        p.end();
+        let names: Vec<&str> = p.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["decode", "run", "report"]);
+        assert!(p.phases().iter().all(|(_, ms)| *ms >= 0.0));
+    }
+
+    #[test]
+    fn reentered_phase_accumulates() {
+        let mut p = SelfProfile::start();
+        p.begin("run");
+        p.begin("report");
+        p.begin("run");
+        p.end();
+        assert_eq!(p.phases().len(), 2);
+        assert!(p.phase_ms("run") >= 0.0);
+    }
+
+    #[test]
+    fn open_phase_counts_toward_phase_ms() {
+        let mut p = SelfProfile::start();
+        p.begin("run");
+        assert!(p.phase_ms("run") >= 0.0);
+        assert_eq!(p.phase_ms("decode"), 0.0);
+        assert!(p.total_ms() >= 0.0);
+    }
+}

@@ -24,6 +24,7 @@ pub mod arch;
 pub mod config;
 pub mod determinism;
 pub mod experiments;
+pub mod manifest;
 pub mod report;
 pub mod runner;
 pub mod system;
@@ -31,6 +32,7 @@ pub mod system;
 pub use arch::Arch;
 pub use config::{env_flag, fast_forward_from_env, scheduler_from_env, SimConfig};
 pub use determinism::{check_determinism, digest_run, Divergence, Fnv1a};
+pub use manifest::{ManifestRun, SCHEMA as MANIFEST_SCHEMA};
 pub use millipede_engine::SchedulerKind;
 pub use millipede_telemetry::{Telemetry, TelemetryConfig};
 pub use runner::{

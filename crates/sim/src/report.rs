@@ -137,11 +137,14 @@ fn run_label(r: &RunResult) -> String {
 /// Renders a compact per-run telemetry summary (series, samples, events,
 /// drops) in the same stderr-table style as [`profile`]. Runs whose
 /// telemetry sink was disabled are skipped; the result is empty if none
-/// recorded anything.
+/// recorded anything. Any run that overflowed its event ring gets a loud
+/// trailing `warning: ... dropped=N` line — a silently truncated trace
+/// looks complete but is not.
 pub fn telemetry_summary(results: &[&RunResult]) -> String {
     let mut t = Table::new(vec![
         "arch", "bench", "series", "samples", "events", "dropped",
     ]);
+    let mut warnings = String::new();
     for r in results {
         let tel = &r.node.telemetry;
         if !tel.enabled() {
@@ -155,11 +158,20 @@ pub fn telemetry_summary(results: &[&RunResult]) -> String {
             tel.events().len().to_string(),
             tel.dropped_events().to_string(),
         ]);
+        if tel.dropped_events() > 0 {
+            warnings.push_str(&format!(
+                "warning: {} telemetry event ring overflowed: dropped={} \
+                 (raise TelemetryConfig::event_capacity past {})\n",
+                run_label(r),
+                tel.dropped_events(),
+                tel.event_capacity().unwrap_or(0),
+            ));
+        }
     }
     if t.is_empty() {
         String::new()
     } else {
-        t.render()
+        format!("{}{warnings}", t.render())
     }
 }
 

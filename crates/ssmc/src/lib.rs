@@ -26,8 +26,9 @@ use millipede_core::NodeResult;
 use millipede_dram::{DramGeometry, DramTiming};
 use millipede_dram::{MemoryController, Request, TimePs};
 use millipede_engine::{
-    period_ps_for_mhz, AccessClass, Arena2, CoreStats, DecodedProgram, DualClock, Edge, EventWheel,
-    FlagGrid, SchedulerKind, StepEffect, ThreadCtx,
+    instrument, period_ps_for_mhz, AccessClass, Arena2, CoreStats, DecodedProgram, DualClock, Edge,
+    EventWheel, FlagGrid, Instrumented, Quiescence, ReplayDeltas, SchedulerKind, StepEffect,
+    ThreadCtx,
 };
 use millipede_mapreduce::ThreadGrid;
 use millipede_mem::{Cache, Mshr};
@@ -169,22 +170,78 @@ struct Threads {
     stall_block: Arena2<u64>,
 }
 
-/// Wheel-mode deep-sleep record: everything needed to replay the skipped
-/// edges' accounting by count and to decide when to wake (see DESIGN.md,
-/// "Event-wheel scheduler").
-struct Sleep {
-    /// DRAM queue slots free at sleep entry; if zero, a freed slot can
-    /// unblock a prefetch or a demand push, so it must wake the cores.
-    free_slots: usize,
-    /// L1 misses one quiescent edge re-counts (stalled contexts re-probe
-    /// their missing block every cycle); constant while asleep because core
-    /// state is frozen until a fill arrives — and a fill wakes us.
+/// Borrowing instrumentation view over the run loop's state, implementing
+/// the shared [`Instrumented`] contract (see `millipede_engine::instrument`).
+struct Model<'a> {
+    cores: &'a [Core],
+    mc: &'a MemoryController,
+    stats: &'a CoreStats,
+    /// L1 misses replayed for fast-forwarded edges so far (stalled
+    /// contexts re-probe their missing block every cycle).
+    ff_l1_misses: u64,
+    /// L1 misses one quiescent edge re-counts right now.
     miss_delta: u64,
-    /// Cycle count and wall time at sleep entry; telemetry samples due
-    /// inside the slept region are reconstructed from these (the compute
-    /// period cannot change while no instruction issues).
-    anchor_cycle: u64,
-    anchor_now: TimePs,
+    slots_per_cycle: u64,
+}
+
+impl Instrumented for Model<'_> {
+    fn prefix(&self) -> &'static str {
+        "ssmc"
+    }
+
+    // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
+    // every observable compute-edge mutation either bumps one of these
+    // monotone counters (prefetch, stall transition, demand fetch) or
+    // advances the monotone prefetcher/demand cursors included in the sum.
+    // L1 demand-miss recounting is deliberately excluded — it *does* recur
+    // on stalled edges and is replayed via `ff_l1_misses` instead. (Repeat
+    // misses never touch LRU state, so only the counter is observable.)
+    fn fingerprint(&self) -> u64 {
+        let cursors: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.pf.next_row + c.demand_row)
+            .sum();
+        self.stats.prefetches + self.stats.demand_stalls + self.stats.demand_fetches + cursors
+    }
+
+    fn sample_epoch(&self, tel: &mut Telemetry, due: u64, at: TimePs, rewind: u64) {
+        let hits: u64 = self.cores.iter().map(|c| c.l1.stats().hits).sum();
+        let l1_misses: u64 = self.cores.iter().map(|c| c.l1.stats().misses).sum();
+        let misses = l1_misses + self.ff_l1_misses - self.miss_delta * rewind;
+        let slots = rewind * self.slots_per_cycle;
+        tel.counter("ssmc::l1", "hits", due, at, hits as f64);
+        tel.counter("ssmc::l1", "misses", due, at, misses as f64);
+        tel.counter(
+            "ssmc::core",
+            "issue_slots",
+            due,
+            at,
+            (self.stats.issue_slots - slots) as f64,
+        );
+        tel.counter(
+            "ssmc::core",
+            "stall_slots",
+            due,
+            at,
+            (self.stats.stall_slots - slots) as f64,
+        );
+        tel.counter(
+            "ssmc::core",
+            "demand_stalls",
+            due,
+            at,
+            self.stats.demand_stalls as f64,
+        );
+        let d = self.mc.stats();
+        instrument::sample_dram(tel, due, at, d.row_hits, d.row_misses, self.mc.queue_len());
+    }
+
+    fn assert_clean(&self) {
+        self.mc
+            .timing_audit()
+            .assert_clean("SSMC memory controller");
+    }
 }
 
 /// Runs `workload` to completion on one SSMC processor.
@@ -267,13 +324,13 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         cfg.scheduler,
     );
     let mc_wake = wheel.register();
-    let mut sleep: Option<Sleep> = None;
+    let slots_per_cycle = cfg.cores as u64;
+    let mut quiesce = Quiescence::new("SSMC", slots_per_cycle, cfg.max_idle_cycles);
 
     let mut stats = CoreStats::default();
     let total_threads = cfg.cores * cfg.contexts;
     let mut halted = 0usize;
     let mut cycle: u64 = 0;
-    let mut idle_streak: u64 = 0;
     let mut last_time: TimePs = 0;
     // L1 misses the skipped edges would have re-counted (stalled contexts
     // re-probe their missing block every cycle); folded into
@@ -281,17 +338,6 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
     let mut ff_l1_misses: u64 = 0;
     let mut tel = Telemetry::new(&cfg.telemetry);
 
-    // Quiescence fingerprint (see DESIGN.md, "Idle-cycle fast-forward"):
-    // every observable compute-edge mutation either bumps one of these
-    // monotone counters (prefetch, stall transition, demand fetch) or
-    // advances the monotone prefetcher/demand cursors included in the sum.
-    // L1 demand-miss recounting is deliberately excluded — it *does* recur
-    // on stalled edges and is replayed via `ff_l1_misses` instead. (Repeat
-    // misses never touch LRU state, so only the counter is observable.)
-    let fingerprint = |stats: &CoreStats, cores: &[Core]| -> u64 {
-        let cursors: u64 = cores.iter().map(|c| c.pf.next_row + c.demand_row).sum();
-        stats.prefetches + stats.demand_stalls + stats.demand_fetches + cursors
-    };
     let l1_misses = |cores: &[Core]| -> u64 { cores.iter().map(|c| c.l1.stats().misses).sum() };
 
     // Completion tags: core index (slab fills are per-core).
@@ -303,7 +349,15 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
             Edge::Compute(now) => {
                 last_time = now;
                 cycle += 1;
-                let fp_before = fingerprint(&stats, &cores);
+                let fp_before = Model {
+                    cores: &cores,
+                    mc: &mc,
+                    stats: &stats,
+                    ff_l1_misses,
+                    miss_delta: 0,
+                    slots_per_cycle,
+                }
+                .fingerprint();
                 let misses_before = l1_misses(&cores);
                 let mut any_issued = false;
                 for c in 0..cfg.cores {
@@ -328,39 +382,32 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                         stats.stall_slots += 1;
                     }
                 }
-                idle_streak = if any_issued { 0 } else { idle_streak + 1 };
-                assert!(
-                    idle_streak <= cfg.max_idle_cycles,
-                    "SSMC deadlock: no issue for {idle_streak} cycles"
-                );
+                quiesce.note_edge(any_issued);
                 let pre_ff_cycle = cycle;
-                if cfg.fast_forward && !any_issued && fingerprint(&stats, &cores) == fp_before {
-                    if wheel.kind().is_wheel() {
-                        // Wheel mode: stop ticking entirely until a channel
-                        // edge produces a wake condition; the channel arm
-                        // replays the skipped edges' accounting by count.
-                        if mc.next_event_at().is_some() {
-                            sleep = Some(Sleep {
-                                free_slots: mc.free_slots(),
-                                miss_delta: l1_misses(&cores) - misses_before,
-                                anchor_cycle: cycle,
-                                anchor_now: now,
-                            });
-                            wheel.sleep_compute();
-                        }
-                    } else if let Some(event) = mc.next_event_at() {
-                        let skipped = wheel.fast_forward(event);
-                        ff_l1_misses += (l1_misses(&cores) - misses_before) * skipped;
-                        cycle += skipped;
-                        stats.ff_skipped_cycles += skipped;
-                        stats.issue_slots += skipped * cfg.cores as u64;
-                        stats.stall_slots += skipped * cfg.cores as u64;
-                        idle_streak += skipped;
-                        assert!(
-                            idle_streak <= cfg.max_idle_cycles,
-                            "SSMC deadlock: no issue for {idle_streak} cycles"
-                        );
-                    }
+                let miss_delta = l1_misses(&cores) - misses_before;
+                let fp_after = Model {
+                    cores: &cores,
+                    mc: &mc,
+                    stats: &stats,
+                    ff_l1_misses,
+                    miss_delta,
+                    slots_per_cycle,
+                }
+                .fingerprint();
+                if cfg.fast_forward && !any_issued && fp_after == fp_before {
+                    let skipped = quiesce.quiesce(
+                        &mut wheel,
+                        mc.next_event_at(),
+                        mc.free_slots(),
+                        ReplayDeltas {
+                            misses: miss_delta,
+                            ..ReplayDeltas::default()
+                        },
+                        now,
+                        &mut cycle,
+                        &mut stats,
+                    );
+                    ff_l1_misses += miss_delta * skipped;
                 }
                 // Telemetry epoch sampling (observational only). Boundaries
                 // inside a fast-forwarded region are reconstructed exactly:
@@ -368,54 +415,43 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                 // per-cycle counters (slots, L1 miss recounting) are rewound
                 // linearly to the boundary.
                 if tel.enabled() {
-                    let miss_delta = l1_misses(&cores) - misses_before;
-                    emit_epoch_samples(
-                        &mut tel,
-                        &cores,
-                        &mc,
-                        &stats,
+                    Model {
+                        cores: &cores,
+                        mc: &mc,
+                        stats: &stats,
                         ff_l1_misses,
                         miss_delta,
+                        slots_per_cycle,
+                    }
+                    .emit_epoch_samples(
+                        &mut tel,
                         cycle,
                         pre_ff_cycle,
                         now,
                         wheel.compute_period(),
-                        cfg.cores as u64,
                     );
                 }
             }
             Edge::Channel(now) => {
                 // Replay the accounting for compute edges the wheel slept
                 // through (poll mode never sleeps, so this drains zero).
-                let skipped = wheel.drain_skipped();
-                if skipped > 0 {
-                    let s = sleep
-                        .as_ref()
-                        // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
-                        .expect("skipped edges without a sleep record");
-                    cycle += skipped;
-                    stats.ff_skipped_cycles += skipped;
-                    ff_l1_misses += s.miss_delta * skipped;
-                    stats.issue_slots += skipped * cfg.cores as u64;
-                    stats.stall_slots += skipped * cfg.cores as u64;
-                    idle_streak += skipped;
-                    assert!(
-                        idle_streak <= cfg.max_idle_cycles,
-                        "SSMC deadlock: no issue for {idle_streak} cycles"
-                    );
+                if let Some((skipped, s)) = quiesce.drain(&mut wheel, &mut cycle, &mut stats) {
+                    ff_l1_misses += s.deltas.misses * skipped;
                     if tel.enabled() {
-                        emit_epoch_samples(
-                            &mut tel,
-                            &cores,
-                            &mc,
-                            &stats,
+                        Model {
+                            cores: &cores,
+                            mc: &mc,
+                            stats: &stats,
                             ff_l1_misses,
-                            s.miss_delta,
+                            miss_delta: s.deltas.misses,
+                            slots_per_cycle,
+                        }
+                        .emit_epoch_samples(
+                            &mut tel,
                             cycle,
                             s.anchor_cycle,
                             s.anchor_now,
                             wheel.compute_period(),
-                            cfg.cores as u64,
                         );
                     }
                 }
@@ -457,19 +493,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
                         }
                     }
                 }
-                if wheel.is_sleeping() {
-                    // audit:allow(unwrap-in-hot-path): sleep_compute() set it; a miss is a scheduler bug, fail loudly
-                    let s = sleep.as_ref().expect("asleep without a sleep record");
-                    // Wake on any fill (it unstalls a context, frees an
-                    // MSHR, or seeds the L1) or when a full DRAM queue
-                    // gained room (it can unblock a prefetch or demand
-                    // push). Waking early is always bit-exact: the next
-                    // compute edge just proves quiescence again.
-                    if fills > 0 || (s.free_slots == 0 && mc.free_slots() > 0) {
-                        wheel.wake_compute();
-                        sleep = None;
-                    }
-                }
+                quiesce.maybe_wake(&mut wheel, fills, mc.free_slots());
             }
         }
     }
@@ -488,7 +512,15 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         stats.l1_misses += core.l1.stats().misses;
     }
     stats.l1_misses += ff_l1_misses;
-    mc.timing_audit().assert_clean("SSMC memory controller");
+    Model {
+        cores: &cores,
+        mc: &mc,
+        stats: &stats,
+        ff_l1_misses,
+        miss_delta: 0,
+        slots_per_cycle,
+    }
+    .assert_clean();
     NodeResult {
         stats,
         dram: mc.stats().clone(),
@@ -496,71 +528,7 @@ pub fn run(workload: &Workload, cfg: &SsmcConfig) -> NodeResult {
         output,
         output_ok,
         telemetry: tel,
-    }
-}
-
-/// Emits every telemetry sample due up to `cycle`, reconstructing sample
-/// timestamps and per-cycle counters from the given anchor (the current
-/// edge in poll mode, the sleep entry in wheel mode).
-#[allow(clippy::too_many_arguments)]
-fn emit_epoch_samples(
-    tel: &mut Telemetry,
-    cores: &[Core],
-    mc: &MemoryController,
-    stats: &CoreStats,
-    ff_l1_misses: u64,
-    miss_delta: u64,
-    cycle: u64,
-    anchor_cycle: u64,
-    anchor_now: TimePs,
-    period: TimePs,
-    slots_per_cycle: u64,
-) {
-    let l1_misses: u64 = cores.iter().map(|c| c.l1.stats().misses).sum();
-    while let Some(due) = tel.next_due(cycle) {
-        let at = anchor_now + (due - anchor_cycle) * period;
-        let rewind = cycle - due;
-        let hits: u64 = cores.iter().map(|c| c.l1.stats().hits).sum();
-        let misses = l1_misses + ff_l1_misses - miss_delta * rewind;
-        let d = mc.stats();
-        tel.counter("ssmc::l1", "hits", due, at, hits as f64);
-        tel.counter("ssmc::l1", "misses", due, at, misses as f64);
-        tel.counter(
-            "ssmc::core",
-            "issue_slots",
-            due,
-            at,
-            (stats.issue_slots - rewind * slots_per_cycle) as f64,
-        );
-        tel.counter(
-            "ssmc::core",
-            "stall_slots",
-            due,
-            at,
-            (stats.stall_slots - rewind * slots_per_cycle) as f64,
-        );
-        tel.counter(
-            "ssmc::core",
-            "demand_stalls",
-            due,
-            at,
-            stats.demand_stalls as f64,
-        );
-        tel.counter("dram::controller", "row_hits", due, at, d.row_hits as f64);
-        tel.counter(
-            "dram::controller",
-            "row_misses",
-            due,
-            at,
-            d.row_misses as f64,
-        );
-        tel.counter(
-            "dram::controller",
-            "queue_depth",
-            due,
-            at,
-            mc.queue_len() as f64,
-        );
+        profile: wheel.profile(),
     }
 }
 

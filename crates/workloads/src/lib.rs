@@ -206,6 +206,24 @@ impl Benchmark {
     }
 }
 
+/// Every compiled-in kernel in sweep order — the one shared enumeration
+/// behind every `--kernels` flag (`millipede-audit --kernels`,
+/// `millipede-cli verify/disasm/run --kernels`). Pinned equal to
+/// [`Benchmark::ALL`] by test, so a new benchmark flows into every sweep
+/// automatically and no caller keeps its own list.
+pub fn kernel_benchmarks() -> impl Iterator<Item = Benchmark> {
+    Benchmark::ALL.into_iter()
+}
+
+/// The standard static-inspection [`Workload`] for one kernel: a single
+/// chunk on the default 2 KB row with a fixed seed — just enough to
+/// materialize the program and its live local footprint for the static
+/// verifier and disassembler, identical across every sweep that only
+/// inspects code.
+pub fn kernel_workload(bench: Benchmark) -> Workload {
+    Workload::build(bench, 1, 2048, 1)
+}
+
 /// The final reduced output of a benchmark, comparable against its golden
 /// reference.
 #[derive(Debug, Clone, PartialEq)]
@@ -481,6 +499,20 @@ mod tests {
         assert_eq!(&Benchmark::ALL[..8], &Benchmark::BMLA);
         assert_eq!(&Benchmark::ALL[8..10], &Benchmark::GRAPH);
         assert_eq!(&Benchmark::ALL[10..], &Benchmark::DENSE);
+    }
+
+    #[test]
+    fn kernel_sweep_is_pinned_to_all() {
+        // Every `--kernels` consumer enumerates through this helper; pin it
+        // to `Benchmark::ALL` so the sweeps can never drift apart.
+        let swept: Vec<Benchmark> = kernel_benchmarks().collect();
+        assert_eq!(swept, Benchmark::ALL.to_vec());
+        for b in kernel_benchmarks() {
+            let w = kernel_workload(b);
+            assert_eq!(w.bench, b);
+            assert!(!w.program.is_empty());
+            assert!(w.live_bytes > 0);
+        }
     }
 
     #[test]

@@ -16,3 +16,39 @@ if [ -f BENCH_8.json ]; then
     baseline=(--baseline BENCH_8.json)
 fi
 ./target/release/millipede-bench --runs 5 "${baseline[@]}" --out BENCH_9.json
+
+# Validate the emitted file against the millipede-bench/2 schema with an
+# independent JSON parser before declaring success — a malformed bench file
+# must fail here, not in a downstream consumer that silently sees an empty
+# series.
+if command -v python3 > /dev/null; then
+    python3 - BENCH_9.json <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "millipede-bench/2", f"bad schema {doc.get('schema')}"
+assert doc["runs_per_point"] >= 1
+points = doc["points"]
+assert len(points) >= 1, "empty points array"
+point_keys = {
+    "label", "arch", "bench", "chunks", "corelets", "contexts",
+    "poll_ms", "wheel_ms", "poll_median_ms", "wheel_median_ms",
+    "speedup", "digests_match",
+}
+for p in points:
+    missing = point_keys - set(p)
+    assert not missing, f"point {p.get('label')}: missing keys {missing}"
+    for series in ("poll_ms", "wheel_ms"):
+        assert len(p[series]) == doc["runs_per_point"], \
+            f"point {p['label']}: {series} has {len(p[series])} entries"
+        assert all(m > 0 for m in p[series]), f"point {p['label']}: non-positive wall"
+    assert p["digests_match"] is True, f"point {p['label']}: scheduler digests diverge"
+idle = doc["idle_heavy"]
+for key in ("per_edge_poll_median_ms", "poll_median_ms", "wheel_median_ms"):
+    assert idle[key] > 0, f"idle_heavy: non-positive {key}"
+assert idle["digests_match"] is True, "idle_heavy: engine digests diverge"
+print(f"BENCH_9.json schema OK: {len(points)} points + idle-heavy")
+EOF
+else
+    echo "warning: python3 not found; BENCH_9.json schema not validated" >&2
+fi

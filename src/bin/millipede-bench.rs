@@ -21,13 +21,22 @@
 //! edge). Results are bit-identical across all three engines, so the
 //! comparison is apples-to-apples.
 //!
+//! `--manifest-out FILE` additionally writes a `millipede-manifest/1`
+//! JSON covering the standard points (both schedulers, median wall per
+//! point) with full per-run metrics and host self-profiling; the
+//! idle-heavy point runs outside the shared driver and is not included.
+//!
 //! ```text
-//! millipede-bench [--runs N] [--out FILE] [--baseline FILE]
+//! millipede-bench [--runs N] [--out FILE] [--baseline FILE] [--manifest-out FILE]
 //! ```
 
 use millipede::core_arch::{self, MillipedeConfig, NodeResult};
 use millipede::dram::DramTiming;
-use millipede::sim::{digest_run, run_one, Arch, SchedulerKind, SimConfig, TelemetryConfig};
+use millipede::metrics::SelfProfile;
+use millipede::sim::manifest::{self, ManifestRun};
+use millipede::sim::{
+    digest_run, run_one, Arch, RunResult, SchedulerKind, SimConfig, TelemetryConfig,
+};
 use millipede::workloads::{Benchmark, Workload};
 use std::time::Instant;
 
@@ -157,8 +166,9 @@ fn time_runs<R>(runs: usize, mut run: impl FnMut() -> R) -> (Vec<f64>, R) {
 }
 
 /// Times one standard point under one scheduler. Both schedulers run with
-/// fast-forward on (the shipping default).
-fn measure(p: &Point, scheduler: SchedulerKind, runs: usize) -> (Vec<f64>, u64) {
+/// fast-forward on (the shipping default). Returns per-run wall-times and
+/// the last run's full result (for the digest and the manifest).
+fn measure(p: &Point, scheduler: SchedulerKind, runs: usize) -> (Vec<f64>, RunResult) {
     let cfg = SimConfig {
         num_chunks: p.chunks,
         fast_forward: true,
@@ -168,8 +178,7 @@ fn measure(p: &Point, scheduler: SchedulerKind, runs: usize) -> (Vec<f64>, u64) 
         telemetry: TelemetryConfig::default(),
         ..SimConfig::default()
     };
-    let (ms, r) = time_runs(runs, || run_one(p.arch, p.bench, &cfg));
-    (ms, digest_run(&r))
+    time_runs(runs, || run_one(p.arch, p.bench, &cfg))
 }
 
 /// Times the idle-heavy point under one engine configuration.
@@ -228,10 +237,13 @@ fn baseline_medians(doc: &str, label: &str) -> Option<(f64, f64)> {
 }
 
 fn main() {
+    let mut prof = SelfProfile::start();
+    prof.begin("decode");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut runs = 3usize;
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut manifest_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -257,10 +269,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--manifest-out" => {
+                i += 1;
+                manifest_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--manifest-out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown flag `{other}` (usage: millipede-bench [--runs N] [--out FILE] \
-                     [--baseline FILE])"
+                     [--baseline FILE] [--manifest-out FILE])"
                 );
                 std::process::exit(2);
             }
@@ -274,16 +293,22 @@ fn main() {
         })
     });
 
+    prof.begin("run");
     let mut entries: Vec<String> = Vec::new();
+    // (result, median wall, chunks, scheduler) per standard point and
+    // scheduler, for the optional run manifest.
+    let mut manifest_points: Vec<(RunResult, f64, usize, SchedulerKind)> = Vec::new();
     let mut all_match = true;
     for p in &POINTS {
         eprintln!("bench: {} ...", p.label);
-        let (poll_ms, poll_digest) = measure(p, SchedulerKind::Poll, runs);
-        let (wheel_ms, wheel_digest) = measure(p, SchedulerKind::Wheel, runs);
-        let digests_match = poll_digest == wheel_digest;
+        let (poll_ms, poll_r) = measure(p, SchedulerKind::Poll, runs);
+        let (wheel_ms, wheel_r) = measure(p, SchedulerKind::Wheel, runs);
+        let digests_match = digest_run(&poll_r) == digest_run(&wheel_r);
         all_match &= digests_match;
         let poll_med = median(&poll_ms);
         let wheel_med = median(&wheel_ms);
+        manifest_points.push((poll_r, poll_med, p.chunks, SchedulerKind::Poll));
+        manifest_points.push((wheel_r, wheel_med, p.chunks, SchedulerKind::Wheel));
         let speedup = poll_med / wheel_med;
         let baseline = baseline_doc
             .as_deref()
@@ -358,6 +383,7 @@ fn main() {
         fmt_ms_list(&wheel_ms),
     );
 
+    prof.begin("report");
     let baseline_header = match &baseline_path {
         Some(p) => format!("  \"baseline\": \"{p}\",\n"),
         None => String::new(),
@@ -386,6 +412,31 @@ fn main() {
             eprintln!("bench: wrote {path}");
         }
         None => print!("{json}"),
+    }
+    if let Some(path) = manifest_out {
+        // The standard points share everything in SimConfig except chunks
+        // and scheduler, which each manifest run carries individually.
+        let cfg = SimConfig {
+            fast_forward: true,
+            telemetry: TelemetryConfig::default(),
+            ..SimConfig::default()
+        };
+        prof.end();
+        let mruns: Vec<ManifestRun> = manifest_points
+            .iter()
+            .map(|(r, wall_ms, chunks, scheduler)| ManifestRun {
+                result: r,
+                wall_ms: *wall_ms,
+                chunks: *chunks,
+                scheduler: *scheduler,
+            })
+            .collect();
+        let doc = manifest::render(&cfg, &prof, 1, &mruns);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("bench: wrote run manifest {path}");
     }
     if !all_match {
         eprintln!("bench: RESULT MISMATCH between schedulers");

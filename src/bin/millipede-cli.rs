@@ -47,12 +47,15 @@ use millipede::engine::{run_functional, LaunchParams, ThreadCtx};
 use millipede::isa::{assemble, disassemble};
 use millipede::mapreduce::ThreadGrid;
 use millipede::mem::InputImage;
+use millipede::metrics::json::Json;
+use millipede::metrics::SelfProfile;
+use millipede::sim::manifest::{self, ManifestRun};
 use millipede::sim::{run_one, Arch, SimConfig};
 use millipede::verify::{
     annotate, annotate_source, reports_to_json, verify_program, verify_source, VerifyConfig,
     VerifyReport,
 };
-use millipede::workloads::{Benchmark, Workload};
+use millipede::workloads::{kernel_benchmarks, kernel_workload, Benchmark, Workload};
 
 const ARCHS: [(&str, Arch); 8] = [
     ("gpgpu", Arch::Gpgpu),
@@ -68,16 +71,121 @@ const ARCHS: [(&str, Arch); 8] = [
 fn usage() -> ! {
     eprintln!(
         "usage: millipede-cli <benchmark> <architecture> [--chunks N] [--seed S] \
-         [--corelets N] [--pbuf N] [--csv]\n       \
+         [--corelets N] [--pbuf N] [--csv] [--manifest-out PATH]\n       \
          millipede-cli verify (<kernel.asm>... | --kernels) [--json] [--strict] \
          [--annotate] [--local-bytes N] [--input-bytes N]\n       \
          millipede-cli disasm (<kernel.asm>... | --kernels)\n       \
          millipede-cli run <kernel.asm>... [--input-words N] [--local-bytes N] \
          [--step-limit N]\n       \
          millipede-cli run --kernels [--chunks N] [--seed S]\n       \
+         millipede-cli report <manifest.json>...\n       \
+         millipede-cli report --diff <a.json> <b.json>\n       \
+         millipede-cli report --check <manifest.json> --baseline <bench.json> \
+         [--threshold-pct P]\n       \
          millipede-cli list"
     );
     std::process::exit(2);
+}
+
+/// The `report` subcommand: render run manifests, diff two of them, or
+/// regression-check one against a committed `millipede-bench` sweep.
+/// Returns the process exit code: for `--check`, non-zero when any matched
+/// point regressed past the threshold.
+fn report_cmd(args: &[String]) -> i32 {
+    let mut files: Vec<String> = Vec::new();
+    let mut do_diff = false;
+    let mut do_check = false;
+    let mut baseline: Option<String> = None;
+    let mut threshold_pct = manifest::DEFAULT_CHECK_THRESHOLD_PCT;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--diff" => do_diff = true,
+            "--check" => do_check = true,
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--threshold-pct" => {
+                i += 1;
+                threshold_pct = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threshold-pct needs a non-negative number");
+                        std::process::exit(2);
+                    });
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let load_manifest = |path: &str| -> Json {
+        manifest::parse(&read(path)).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid manifest: {e}");
+            std::process::exit(2);
+        })
+    };
+    if do_diff {
+        if do_check || files.len() != 2 {
+            usage();
+        }
+        let d = manifest::diff(&load_manifest(&files[0]), &load_manifest(&files[1]));
+        if d.is_empty() {
+            println!("manifests agree on every numeric observable");
+        } else {
+            print!("{d}");
+        }
+        return 0;
+    }
+    if do_check {
+        let (Some(baseline), [file]) = (baseline, files.as_slice()) else {
+            usage();
+        };
+        let base = Json::parse(&read(&baseline)).unwrap_or_else(|e| {
+            eprintln!("{baseline}: invalid JSON: {e}");
+            std::process::exit(2);
+        });
+        let outcome = match manifest::check(&load_manifest(file), &base, threshold_pct) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        for line in &outcome.lines {
+            println!("{line}");
+        }
+        println!(
+            "{} point(s) matched, {} regression(s) past {threshold_pct}%",
+            outcome.matched, outcome.regressions
+        );
+        if outcome.matched == 0 {
+            eprintln!("warning: no manifest run matched a baseline point");
+        }
+        return i32::from(outcome.regressions > 0);
+    }
+    if files.is_empty() {
+        usage();
+    }
+    for file in &files {
+        print!("{}", manifest::render_text(&load_manifest(file)));
+    }
+    0
 }
 
 /// The `verify` subcommand: static analysis over `.asm` files or every
@@ -121,8 +229,8 @@ fn verify_cmd(args: &[String]) -> i32 {
 
     let mut reports: Vec<VerifyReport> = Vec::new();
     if kernels {
-        for &bench in &Benchmark::ALL {
-            let w = Workload::build(bench, 1, 2048, 1);
+        for bench in kernel_benchmarks() {
+            let w = kernel_workload(bench);
             let config = VerifyConfig {
                 local_bytes: Some(w.live_bytes as u64),
                 ..base.clone()
@@ -192,8 +300,8 @@ fn disasm_cmd(args: &[String]) -> i32 {
         usage();
     }
     if kernels {
-        for &bench in &Benchmark::ALL {
-            let w = Workload::build(bench, 1, 2048, 1);
+        for bench in kernel_benchmarks() {
+            let w = kernel_workload(bench);
             println!("# {} ({} instructions)", bench.name(), w.program.len());
             println!("{}", disassemble(&w.program));
         }
@@ -222,13 +330,14 @@ fn disasm_cmd(args: &[String]) -> i32 {
 }
 
 /// The `run --kernels` mode: execute every compiled-in benchmark kernel
-/// functionally over its real dataset and launch grid (enumerated from
-/// `Benchmark::ALL`, never a hand-kept list) and validate the reduced
-/// output against the golden reference. Returns the process exit code.
+/// functionally over its real dataset and launch grid (enumerated through
+/// the shared `kernel_benchmarks` helper, never a hand-kept list) and
+/// validate the reduced output against the golden reference. Returns the
+/// process exit code.
 fn run_kernels(num_chunks: usize, seed: u64) -> i32 {
     let grid = ThreadGrid::paper_default();
     let mut bad = false;
-    for &bench in &Benchmark::ALL {
+    for bench in kernel_benchmarks() {
         let w = Workload::build(bench, num_chunks, 2048, seed);
         let mut stats = millipede::engine::FuncStats::default();
         let mut states: Vec<Vec<u32>> = Vec::with_capacity(grid.num_threads());
@@ -389,9 +498,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("run") {
         std::process::exit(run_cmd(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("report") {
+        std::process::exit(report_cmd(&args[1..]));
+    }
     if args.len() < 2 {
         usage();
     }
+    let mut prof = SelfProfile::start();
+    prof.begin("decode");
     let bench = Benchmark::from_name(&args[0]).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{}` (try `millipede-cli list`)", args[0]);
         std::process::exit(2);
@@ -409,6 +523,7 @@ fn main() {
 
     let mut cfg = SimConfig::default();
     let mut csv = false;
+    let mut manifest_out: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
         let take = |i: &mut usize, what: &str| -> u64 {
@@ -426,6 +541,13 @@ fn main() {
             "--corelets" => cfg.corelets = take(&mut i, "--corelets") as usize,
             "--pbuf" => cfg.pbuf_entries = take(&mut i, "--pbuf") as usize,
             "--csv" => csv = true,
+            "--manifest-out" => {
+                i += 1;
+                manifest_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--manifest-out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage();
@@ -434,7 +556,20 @@ fn main() {
         i += 1;
     }
 
+    prof.begin("run");
     let r = run_one(arch, bench, &cfg);
+    prof.begin("report");
+    if let Some(path) = &manifest_out {
+        let doc = {
+            prof.end();
+            manifest::render(&cfg, &prof, 1, &[ManifestRun::new(&r, &cfg)])
+        };
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote run manifest to {path}");
+    }
     if csv {
         println!(
             "bench,arch,chunks,seed,elapsed_us,instructions,ipc,dram_gbps,row_miss_rate,\

@@ -13,6 +13,7 @@ pub use millipede_gpgpu as gpgpu;
 pub use millipede_isa as isa;
 pub use millipede_mapreduce as mapreduce;
 pub use millipede_mem as mem;
+pub use millipede_metrics as metrics;
 pub use millipede_multicore as multicore;
 pub use millipede_sim as sim;
 pub use millipede_ssmc as ssmc;

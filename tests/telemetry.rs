@@ -167,6 +167,39 @@ fn event_ring_overflow_drops_instead_of_growing() {
 }
 
 #[test]
+fn telemetry_summary_warns_loudly_on_dropped_events() {
+    let tiny_ring = TelemetryConfig {
+        enabled: true,
+        epoch_cycles: 64,
+        event_capacity: 4,
+    };
+    let overflowed = run_one(Arch::Millipede, Benchmark::Count, &config(true, tiny_ring));
+    assert!(
+        overflowed.node.telemetry.dropped_events() > 0,
+        "fixture must overflow its 4-entry ring"
+    );
+    let summary = millipede_sim::report::telemetry_summary(&[&overflowed]);
+    let dropped = format!("dropped={}", overflowed.node.telemetry.dropped_events());
+    assert!(
+        summary.contains("warning:") && summary.contains(&dropped),
+        "overflow must produce a loud dropped=N warning, got:\n{summary}"
+    );
+
+    // A comfortable ring stays quiet.
+    let clean = run_one(
+        Arch::Millipede,
+        Benchmark::Count,
+        &config(true, TelemetryConfig::enabled_with_epoch(64)),
+    );
+    assert_eq!(clean.node.telemetry.dropped_events(), 0);
+    let summary = millipede_sim::report::telemetry_summary(&[&clean]);
+    assert!(
+        !summary.contains("warning:"),
+        "no-drop run must not warn, got:\n{summary}"
+    );
+}
+
+#[test]
 fn epoch_sampling_count_matches_cycles_over_epoch() {
     for epoch in [64u64, 256, 1024] {
         let cfg = config(true, TelemetryConfig::enabled_with_epoch(epoch));
